@@ -1,0 +1,104 @@
+//! Minimal `--flag value` command-line parsing for the experiment
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags. Every experiment accepts `--scale`,
+/// `--seed`, `--pairs`, `--sample-every`, `--out` (and some add their
+/// own); unknown flags abort with a message listing what was given.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, expecting alternating `--key value`
+    /// pairs. Panics with a usage message on malformed input.
+    pub fn parse_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (used by tests).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(key) = args.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("expected --flag, got {key:?}");
+            };
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            values.insert(name.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// A float flag with a default.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// An integer flag with a default.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A u64 flag with a default.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A string flag.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(
+            ["--scale", "0.5", "--seed", "7", "--out", "x.csv"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.f64("scale", 1.0), 0.5);
+        assert_eq!(a.u64("seed", 0), 7);
+        assert_eq!(a.str("out"), Some("x.csv"));
+        assert_eq!(a.usize("pairs", 100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        Args::parse(["--scale"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn positional_panics() {
+        Args::parse(["bare"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Workload drivers: run the paper's mixed insert/delete protocol through
+//! a chosen maintenance algorithm, sampling the quality metric and
+//! separating update time from reconstruction time.
+
+use std::time::{Duration, Instant};
+use xsi_core::rebuild::{reconstruct_1index, RebuildPolicy};
+use xsi_core::{check, AkIndex, OneIndex, SimpleAkIndex};
+use xsi_graph::{EdgeKind, Graph};
+use xsi_workload::EdgePool;
+
+/// 1-index maintenance algorithm under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo1 {
+    /// The paper's split/merge algorithm (Figure 3).
+    SplitMerge,
+    /// The propagate baseline: splits only, no merges, no reconstruction.
+    Propagate,
+    /// Propagate plus the 5 %-growth reconstruction heuristic.
+    PropagateWithRebuild,
+}
+
+/// A(k)-index maintenance algorithm under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoAk {
+    /// The paper's split/merge algorithm on the refinement tree (Fig. 7).
+    SplitMerge,
+    /// The simple BFS-repartition baseline, no reconstruction.
+    Simple,
+    /// The simple baseline plus the 5 %-growth reconstruction heuristic.
+    SimpleWithRebuild,
+}
+
+/// One point on a quality curve.
+#[derive(Clone, Copy, Debug)]
+pub struct QualitySample {
+    /// Number of single-edge updates applied so far (2 per pair).
+    pub updates: usize,
+    /// Index size at this point.
+    pub index_size: usize,
+    /// Size of the (freshly computed) minimum index.
+    pub minimum_size: usize,
+    /// The paper's quality metric: `index_size / minimum_size − 1`.
+    pub quality: f64,
+}
+
+/// Everything a driver run produces.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Quality curve, one sample every `sample_every` update pairs.
+    pub samples: Vec<QualitySample>,
+    /// Wall-clock time spent inside maintenance calls.
+    pub update_time: Duration,
+    /// Wall-clock time spent inside reconstructions.
+    pub rebuild_time: Duration,
+    /// Number of reconstructions triggered.
+    pub rebuild_count: usize,
+    /// Total single-edge updates applied.
+    pub updates: usize,
+    /// Index size at the end of the run.
+    pub final_size: usize,
+}
+
+impl RunSummary {
+    /// Average time per update, excluding reconstructions (the paper's
+    /// "pure" update time of Figure 11).
+    pub fn avg_update(&self) -> Duration {
+        self.update_time / self.updates.max(1) as u32
+    }
+
+    /// Average time per update including amortized reconstruction cost.
+    pub fn avg_update_with_rebuild(&self) -> Duration {
+        (self.update_time + self.rebuild_time) / self.updates.max(1) as u32
+    }
+}
+
+/// Runs `pairs` insert+delete pairs on the 1-index with the given
+/// algorithm. The index is built after pool extraction (so it reflects
+/// the initial graph), and quality is sampled every `sample_every` pairs
+/// against a fresh Paige–Tarjan construction (not charged to the run).
+pub fn run_mixed_updates_1index(
+    g: &mut Graph,
+    pool: &mut EdgePool,
+    pairs: usize,
+    sample_every: usize,
+    algo: Algo1,
+) -> RunSummary {
+    let mut idx = OneIndex::build(g);
+    let mut policy = RebuildPolicy::new(idx.block_count());
+    let mut summary = RunSummary {
+        samples: Vec::new(),
+        update_time: Duration::ZERO,
+        rebuild_time: Duration::ZERO,
+        rebuild_count: 0,
+        updates: 0,
+        final_size: idx.block_count(),
+    };
+    push_sample_1(&mut summary, g, &idx, 0);
+    for pair in 1..=pairs {
+        let Some((u, v)) = pool.next_insert() else {
+            break;
+        };
+        let t = Instant::now();
+        match algo {
+            Algo1::SplitMerge => {
+                idx.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
+            }
+            Algo1::Propagate | Algo1::PropagateWithRebuild => {
+                idx.propagate_insert_edge(g, u, v, EdgeKind::IdRef)
+                    .expect("insert");
+            }
+        }
+        summary.update_time += t.elapsed();
+        summary.updates += 1;
+        maybe_rebuild_1(&mut summary, &mut policy, g, &mut idx, algo);
+
+        let Some((u, v)) = pool.next_delete() else {
+            break;
+        };
+        let t = Instant::now();
+        match algo {
+            Algo1::SplitMerge => {
+                idx.delete_edge(g, u, v).expect("delete");
+            }
+            Algo1::Propagate | Algo1::PropagateWithRebuild => {
+                idx.propagate_delete_edge(g, u, v).expect("delete");
+            }
+        }
+        summary.update_time += t.elapsed();
+        summary.updates += 1;
+        maybe_rebuild_1(&mut summary, &mut policy, g, &mut idx, algo);
+
+        if pair % sample_every == 0 || pair == pairs {
+            let updates = summary.updates;
+            push_sample_1(&mut summary, g, &idx, updates);
+        }
+    }
+    summary.final_size = idx.block_count();
+    summary
+}
+
+fn maybe_rebuild_1(
+    summary: &mut RunSummary,
+    policy: &mut RebuildPolicy,
+    g: &Graph,
+    idx: &mut OneIndex,
+    algo: Algo1,
+) {
+    if algo == Algo1::PropagateWithRebuild && policy.should_rebuild(idx.block_count()) {
+        let t = Instant::now();
+        *idx = reconstruct_1index(g, idx);
+        summary.rebuild_time += t.elapsed();
+        summary.rebuild_count += 1;
+        policy.on_rebuilt(idx.block_count());
+    }
+}
+
+fn push_sample_1(summary: &mut RunSummary, g: &Graph, idx: &OneIndex, updates: usize) {
+    let minimum = OneIndex::build(g).block_count();
+    summary.samples.push(QualitySample {
+        updates,
+        index_size: idx.block_count(),
+        minimum_size: minimum,
+        quality: check::quality(idx.block_count(), minimum),
+    });
+}
+
+/// Runs `pairs` insert+delete pairs on the A(k)-index with the given
+/// algorithm, sampling quality against a fresh construction.
+pub fn run_mixed_updates_ak(
+    g: &mut Graph,
+    k: usize,
+    pool: &mut EdgePool,
+    pairs: usize,
+    sample_every: usize,
+    algo: AlgoAk,
+) -> RunSummary {
+    enum Index {
+        Exact(Box<AkIndex>),
+        Simple(SimpleAkIndex),
+    }
+    let mut idx = match algo {
+        AlgoAk::SplitMerge => Index::Exact(Box::new(AkIndex::build(g, k))),
+        AlgoAk::Simple | AlgoAk::SimpleWithRebuild => Index::Simple(SimpleAkIndex::build(g, k)),
+    };
+    let size = |idx: &Index| match idx {
+        Index::Exact(i) => i.block_count(),
+        Index::Simple(i) => i.block_count(),
+    };
+    let mut policy = RebuildPolicy::new(size(&idx));
+    let mut summary = RunSummary {
+        samples: Vec::new(),
+        update_time: Duration::ZERO,
+        rebuild_time: Duration::ZERO,
+        rebuild_count: 0,
+        updates: 0,
+        final_size: size(&idx),
+    };
+    let minimum = AkIndex::build(g, k).block_count();
+    summary.samples.push(QualitySample {
+        updates: 0,
+        index_size: size(&idx),
+        minimum_size: minimum,
+        quality: check::quality(size(&idx), minimum),
+    });
+    for pair in 1..=pairs {
+        let Some((u, v)) = pool.next_insert() else {
+            break;
+        };
+        let t = Instant::now();
+        match &mut idx {
+            Index::Exact(i) => {
+                i.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
+            }
+            Index::Simple(i) => {
+                i.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
+            }
+        }
+        summary.update_time += t.elapsed();
+        summary.updates += 1;
+
+        let Some((u, v)) = pool.next_delete() else {
+            break;
+        };
+        let t = Instant::now();
+        match &mut idx {
+            Index::Exact(i) => {
+                i.delete_edge(g, u, v).expect("delete");
+            }
+            Index::Simple(i) => {
+                i.delete_edge(g, u, v).expect("delete");
+            }
+        }
+        summary.update_time += t.elapsed();
+        summary.updates += 1;
+
+        if algo == AlgoAk::SimpleWithRebuild && policy.should_rebuild(size(&idx)) {
+            let t = Instant::now();
+            idx = Index::Simple(SimpleAkIndex::build(g, k));
+            summary.rebuild_time += t.elapsed();
+            summary.rebuild_count += 1;
+            policy.on_rebuilt(size(&idx));
+        }
+
+        if pair % sample_every == 0 || pair == pairs {
+            let minimum = AkIndex::build(g, k).block_count();
+            summary.samples.push(QualitySample {
+                updates: summary.updates,
+                index_size: size(&idx),
+                minimum_size: minimum,
+                quality: check::quality(size(&idx), minimum),
+            });
+        }
+    }
+    summary.final_size = size(&idx);
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_workload::{generate_xmark, XmarkParams};
+
+    fn setup(scale: f64) -> (Graph, EdgePool) {
+        let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, 11));
+        let pool = EdgePool::extract(&mut g, 0.2, 11);
+        (g, pool)
+    }
+
+    #[test]
+    fn split_merge_quality_stays_near_zero() {
+        let (mut g, mut pool) = setup(0.01);
+        let s = run_mixed_updates_1index(&mut g, &mut pool, 30, 10, Algo1::SplitMerge);
+        assert_eq!(s.updates, 60);
+        for sample in &s.samples {
+            assert!(
+                sample.quality < 0.03,
+                "split/merge quality {} too high",
+                sample.quality
+            );
+        }
+        assert_eq!(s.rebuild_count, 0);
+    }
+
+    #[test]
+    fn propagate_quality_degrades() {
+        let (mut g, mut pool) = setup(0.01);
+        let s = run_mixed_updates_1index(&mut g, &mut pool, 30, 30, Algo1::Propagate);
+        let last = s.samples.last().unwrap();
+        let first = &s.samples[0];
+        assert!(last.quality >= first.quality, "propagate never improves");
+        assert!(last.index_size >= last.minimum_size);
+    }
+
+    #[test]
+    fn propagate_with_rebuild_bounds_quality() {
+        let (mut g, mut pool) = setup(0.01);
+        let s = run_mixed_updates_1index(&mut g, &mut pool, 60, 20, Algo1::PropagateWithRebuild);
+        // The 5 % trigger keeps quality bounded by ~5 % + one update drift.
+        for sample in &s.samples {
+            assert!(sample.quality < 0.10, "rebuild failed to bound quality");
+        }
+    }
+
+    #[test]
+    fn ak_split_merge_quality_is_zero() {
+        let (mut g, mut pool) = setup(0.01);
+        let s = run_mixed_updates_ak(&mut g, 2, &mut pool, 20, 10, AlgoAk::SplitMerge);
+        for sample in &s.samples {
+            assert_eq!(
+                sample.quality, 0.0,
+                "Theorem 2: split/merge maintains the minimum"
+            );
+        }
+    }
+
+    #[test]
+    fn ak_simple_quality_grows() {
+        let (mut g, mut pool) = setup(0.01);
+        let s = run_mixed_updates_ak(&mut g, 2, &mut pool, 30, 30, AlgoAk::Simple);
+        let last = s.samples.last().unwrap();
+        assert!(last.index_size >= last.minimum_size);
+    }
+}

@@ -1,0 +1,17 @@
+//! # xsi-bench — experiment harness shared code
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; this
+//! library holds the pieces they share: command-line parsing, dataset
+//! construction, the update-driver loops that run a workload through a
+//! chosen maintenance algorithm while sampling the paper's quality metric,
+//! and plain-text table output.
+
+pub mod cli;
+pub mod driver;
+pub mod output;
+
+pub use cli::Args;
+pub use driver::{
+    run_mixed_updates_1index, run_mixed_updates_ak, Algo1, AlgoAk, QualitySample, RunSummary,
+};
+pub use output::{write_csv, Table};

@@ -1,0 +1,138 @@
+//! Storage accounting for Table 3 of the paper.
+//!
+//! The paper estimates space with a uniform cost model — "each dnode,
+//! inode, or pointer takes 4 bytes" — and compares a stand-alone A(k)
+//! index against the full A(0)..A(k) refinement-tree representation. The
+//! stand-alone index pays for inode extents, the dnode→inode reverse map,
+//! and the intra-level iedges; the chain additionally pays for interior
+//! inodes, refinement-tree edges, and the inter-iedges. Table 3 reports
+//! the additional storage staying below 15 % for k ≤ 5 because interior
+//! levels shrink rapidly.
+
+use super::AkIndex;
+
+/// Byte estimates under the paper's 4-bytes-per-unit model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Extents: one 4-byte entry per dnode.
+    pub extents_bytes: usize,
+    /// The dnode → level-k inode reverse map: 4 bytes per dnode.
+    pub reverse_map_bytes: usize,
+    /// Intra-level-k iedges: two 4-byte pointers each.
+    pub intra_iedge_bytes: usize,
+    /// Level-k inode descriptors: 4 bytes each.
+    pub leaf_inode_bytes: usize,
+    /// Interior (level < k) inode descriptors: 4 bytes each.
+    pub interior_inode_bytes: usize,
+    /// Refinement-tree edges: one 4-byte child pointer + 4-byte parent
+    /// pointer per interior link.
+    pub tree_edge_bytes: usize,
+    /// Inter-iedges (`E_i` maps): two 4-byte pointers each.
+    pub inter_iedge_bytes: usize,
+}
+
+impl StorageReport {
+    /// What a stand-alone A(k)-index must store.
+    pub fn stand_alone_bytes(&self) -> usize {
+        self.extents_bytes + self.reverse_map_bytes + self.intra_iedge_bytes + self.leaf_inode_bytes
+    }
+
+    /// What the full refinement-tree representation stores.
+    pub fn chain_bytes(&self) -> usize {
+        self.stand_alone_bytes()
+            + self.interior_inode_bytes
+            + self.tree_edge_bytes
+            + self.inter_iedge_bytes
+    }
+
+    /// Additional storage as a fraction of the stand-alone index — the
+    /// percentage row of Table 3.
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.chain_bytes() - self.stand_alone_bytes()) as f64 / self.stand_alone_bytes() as f64
+    }
+}
+
+const UNIT: usize = 4;
+
+impl AkIndex {
+    /// Computes the Table 3 storage estimate for this index.
+    pub fn storage_report(&self) -> StorageReport {
+        let k = self.k();
+        let mut dnodes = 0usize;
+        let mut intra_iedges = 0usize;
+        let mut leaf_inodes = 0usize;
+        for b in self.blocks_at(k) {
+            leaf_inodes += 1;
+            dnodes += self.extent(b).len();
+            intra_iedges += self.isucc(b).count();
+        }
+        let mut interior_inodes = 0usize;
+        let mut tree_edges = 0usize;
+        let mut inter_iedges = 0usize;
+        for level in 0..k {
+            for b in self.blocks_at(level) {
+                interior_inodes += 1;
+                tree_edges += self.tree_children(b).count();
+                inter_iedges += self.cross_successor_count(b);
+            }
+        }
+        StorageReport {
+            extents_bytes: dnodes * UNIT,
+            reverse_map_bytes: dnodes * UNIT,
+            intra_iedge_bytes: intra_iedges * 2 * UNIT,
+            leaf_inode_bytes: leaf_inodes * UNIT,
+            interior_inode_bytes: interior_inodes * UNIT,
+            tree_edge_bytes: tree_edges * 2 * UNIT,
+            inter_iedge_bytes: inter_iedges * 2 * UNIT,
+        }
+    }
+
+    /// Number of distinct `E_level` inter-iedges out of `b`.
+    pub(crate) fn cross_successor_count(&self, b: super::ABlockId) -> usize {
+        self.blocks[b.index()].succ_cross.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::GraphBuilder;
+
+    fn graph() -> xsi_graph::Graph {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "C"), (4, "B"), (5, "C")])
+            .edges(&[(1, 2), (2, 3), (4, 5), (1, 4)])
+            .root_to(1)
+            .build_with_ids();
+        g
+    }
+
+    #[test]
+    fn report_components_add_up() {
+        let g = graph();
+        let idx = AkIndex::build(&g, 3);
+        let r = idx.storage_report();
+        assert_eq!(r.extents_bytes, g.node_count() * 4);
+        assert_eq!(r.reverse_map_bytes, g.node_count() * 4);
+        assert!(r.chain_bytes() > r.stand_alone_bytes());
+        assert!(r.overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_k() {
+        let g = graph();
+        let r2 = AkIndex::build(&g, 1).storage_report();
+        let r4 = AkIndex::build(&g, 4).storage_report();
+        // More interior levels ⇒ more chain overhead (weak monotonic).
+        assert!(
+            r4.chain_bytes() - r4.stand_alone_bytes() >= r2.chain_bytes() - r2.stand_alone_bytes()
+        );
+    }
+
+    #[test]
+    fn k_zero_has_no_overhead() {
+        let g = graph();
+        let r = AkIndex::build(&g, 0).storage_report();
+        assert_eq!(r.chain_bytes(), r.stand_alone_bytes());
+    }
+}

@@ -1,0 +1,324 @@
+//! Batched update application.
+//!
+//! Applications rarely see one edge at a time — an XML document change
+//! arrives as a group of node and edge operations. [`UpdateOp`] describes
+//! one operation; [`apply_batch_1index`] / [`apply_batch_ak`] apply a
+//! group through incremental maintenance in dependency-safe order
+//! (node additions first, then edge insertions, then edge deletions,
+//! then node removals), validating that the batch is internally
+//! consistent before touching anything.
+//!
+//! Each operation still runs through the split/merge machinery, so the
+//! minimality/minimum guarantees hold at every intermediate step; the
+//! batch layer adds ordering, atomic pre-validation, and aggregate
+//! statistics. (True batching that defers the merge phase across a group
+//! is what Figure 6 does for subgraphs — use
+//! [`crate::OneIndex::add_subgraph`] for that case.)
+
+use crate::akindex::AkIndex;
+use crate::oneindex::OneIndex;
+use crate::stats::UpdateStats;
+use std::collections::HashSet;
+use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
+
+/// One update in a batch. Node handles for `AddNode` results are
+/// positional: the i-th `AddNode` of the batch is referred to by
+/// [`NodeRef::New`]`(i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Create a node with this label.
+    AddNode { label: String },
+    /// Insert a dedge.
+    InsertEdge {
+        from: NodeRef,
+        to: NodeRef,
+        kind: EdgeKind,
+    },
+    /// Delete a dedge (between existing nodes).
+    DeleteEdge { from: NodeId, to: NodeId },
+    /// Remove a node and all of its remaining edges.
+    RemoveNode { node: NodeId },
+}
+
+/// A node reference inside a batch: either an existing node or the
+/// result of the batch's i-th `AddNode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    /// An existing node in the graph.
+    Existing(NodeId),
+    /// The i-th `AddNode` of this batch (0-based).
+    New(usize),
+}
+
+/// Errors from batch validation and application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// A `NodeRef::New(i)` referred to a non-existent `AddNode`.
+    BadNewRef(usize),
+    /// A node operation referenced a node that is not alive.
+    DeadNode(NodeId),
+    /// The underlying graph rejected an operation (duplicate edge, …).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::BadNewRef(i) => write!(f, "NodeRef::New({i}) out of range"),
+            BatchError::DeadNode(n) => write!(f, "node {n} is not alive"),
+            BatchError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<GraphError> for BatchError {
+    fn from(e: GraphError) -> Self {
+        BatchError::Graph(e)
+    }
+}
+
+/// The result of a batch: created node ids (in `AddNode` order) and
+/// aggregate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// Host ids of the batch's `AddNode`s, in order.
+    pub created: Vec<NodeId>,
+    /// Aggregate per-operation statistics.
+    pub stats: UpdateStats,
+}
+
+fn validate(g: &Graph, batch: &[UpdateOp]) -> Result<(), BatchError> {
+    let new_count = batch
+        .iter()
+        .filter(|op| matches!(op, UpdateOp::AddNode { .. }))
+        .count();
+    let check_ref = |r: &NodeRef| match r {
+        NodeRef::New(i) if *i >= new_count => Err(BatchError::BadNewRef(*i)),
+        NodeRef::Existing(n) if !g.is_alive(*n) => Err(BatchError::DeadNode(*n)),
+        _ => Ok(()),
+    };
+    let mut removed: HashSet<NodeId> = HashSet::new();
+    for op in batch {
+        match op {
+            UpdateOp::AddNode { .. } => {}
+            UpdateOp::InsertEdge { from, to, .. } => {
+                check_ref(from)?;
+                check_ref(to)?;
+            }
+            UpdateOp::DeleteEdge { from, to } => {
+                if !g.is_alive(*from) {
+                    return Err(BatchError::DeadNode(*from));
+                }
+                if !g.is_alive(*to) {
+                    return Err(BatchError::DeadNode(*to));
+                }
+            }
+            UpdateOp::RemoveNode { node } => {
+                if !g.is_alive(*node) || !removed.insert(*node) {
+                    return Err(BatchError::DeadNode(*node));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+macro_rules! impl_apply_batch {
+    ($fn_name:ident, $index:ty, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Operations are applied in phase order (add-node → insert-edge →
+        /// delete-edge → remove-node); within a phase, batch order is
+        /// preserved. The batch is validated up front — a structurally
+        /// invalid batch leaves graph and index untouched. Graph-level
+        /// failures mid-application (e.g. duplicate edge inserts) abort
+        /// with the error; operations already applied remain applied, and
+        /// the index is consistent with the graph at every step.
+        pub fn $fn_name(
+            idx: &mut $index,
+            g: &mut Graph,
+            batch: &[UpdateOp],
+        ) -> Result<BatchResult, BatchError> {
+            validate(g, batch)?;
+            let mut result = BatchResult::default();
+            // Phase 1: node additions.
+            for op in batch {
+                if let UpdateOp::AddNode { label } = op {
+                    let n = g.add_node(label, None);
+                    idx.on_node_added(g, n);
+                    result.created.push(n);
+                }
+            }
+            let resolve = |r: &NodeRef, created: &[NodeId]| match r {
+                NodeRef::Existing(n) => *n,
+                NodeRef::New(i) => created[*i],
+            };
+            // Phase 2: edge insertions.
+            for op in batch {
+                if let UpdateOp::InsertEdge { from, to, kind } = op {
+                    let (u, v) = (resolve(from, &result.created), resolve(to, &result.created));
+                    g.insert_edge(u, v, *kind)?;
+                    result.stats.absorb(&idx.notify_edge_inserted(g, u, v));
+                }
+            }
+            // Phase 3: edge deletions.
+            for op in batch {
+                if let UpdateOp::DeleteEdge { from, to } = op {
+                    g.delete_edge(*from, *to)?;
+                    result.stats.absorb(&idx.notify_edge_deleted(g, *from, *to));
+                }
+            }
+            // Phase 4: node removals (including incident edges).
+            for op in batch {
+                if let UpdateOp::RemoveNode { node } = op {
+                    result.stats.absorb(&idx.delete_node(g, *node)?);
+                }
+            }
+            Ok(result)
+        }
+    };
+}
+
+impl_apply_batch!(
+    apply_batch_1index,
+    OneIndex,
+    "Applies a batch of updates through 1-index split/merge maintenance."
+);
+impl_apply_batch!(
+    apply_batch_ak,
+    AkIndex,
+    "Applies a batch of updates through A(k) split/merge maintenance."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_minimal_1index;
+    use xsi_graph::GraphBuilder;
+
+    fn host() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+        GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "person"), (3, "auction")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids()
+    }
+
+    #[test]
+    fn batch_with_new_nodes_and_edges() {
+        let (mut g, ids) = host();
+        let mut idx = OneIndex::build(&g);
+        let batch = vec![
+            UpdateOp::AddNode {
+                label: "person".into(),
+            },
+            UpdateOp::AddNode {
+                label: "watch".into(),
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::Existing(ids[&1]),
+                to: NodeRef::New(0),
+                kind: EdgeKind::Child,
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::New(0),
+                to: NodeRef::New(1),
+                kind: EdgeKind::Child,
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::New(1),
+                to: NodeRef::Existing(ids[&3]),
+                kind: EdgeKind::IdRef,
+            },
+        ];
+        let result = apply_batch_1index(&mut idx, &mut g, &batch).unwrap();
+        assert_eq!(result.created.len(), 2);
+        idx.partition().check_consistency(&g).unwrap();
+        assert!(is_minimal_1index(&g, idx.partition()));
+        assert_eq!(idx.block_count(), OneIndex::build(&g).block_count());
+    }
+
+    #[test]
+    fn batch_round_trip_removal() {
+        let (mut g, ids) = host();
+        let mut idx = OneIndex::build(&g);
+        let before = idx.canonical();
+        let add = vec![
+            UpdateOp::AddNode {
+                label: "note".into(),
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::Existing(ids[&2]),
+                to: NodeRef::New(0),
+                kind: EdgeKind::Child,
+            },
+        ];
+        let result = apply_batch_1index(&mut idx, &mut g, &add).unwrap();
+        let remove = vec![UpdateOp::RemoveNode {
+            node: result.created[0],
+        }];
+        apply_batch_1index(&mut idx, &mut g, &remove).unwrap();
+        assert_eq!(idx.canonical(), before);
+    }
+
+    #[test]
+    fn invalid_batch_leaves_state_untouched() {
+        let (mut g, _) = host();
+        let mut idx = OneIndex::build(&g);
+        let before = idx.canonical();
+        let nodes_before = g.node_count();
+        let bad = vec![
+            UpdateOp::AddNode { label: "x".into() },
+            UpdateOp::InsertEdge {
+                from: NodeRef::New(0),
+                to: NodeRef::New(7), // out of range
+                kind: EdgeKind::Child,
+            },
+        ];
+        assert_eq!(
+            apply_batch_1index(&mut idx, &mut g, &bad).unwrap_err(),
+            BatchError::BadNewRef(7)
+        );
+        assert_eq!(g.node_count(), nodes_before);
+        assert_eq!(idx.canonical(), before);
+    }
+
+    #[test]
+    fn ak_batch_maintains_minimum_chain() {
+        let (mut g, ids) = host();
+        let mut idx = AkIndex::build(&g, 2);
+        let batch = vec![
+            UpdateOp::AddNode {
+                label: "person".into(),
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::Existing(ids[&1]),
+                to: NodeRef::New(0),
+                kind: EdgeKind::Child,
+            },
+            UpdateOp::DeleteEdge {
+                from: ids[&1],
+                to: ids[&2],
+            },
+        ];
+        apply_batch_ak(&mut idx, &mut g, &batch).unwrap();
+        idx.check_consistency(&g).unwrap();
+        assert_eq!(idx.canonical(), AkIndex::build(&g, 2).canonical());
+    }
+
+    #[test]
+    fn duplicate_remove_rejected() {
+        let (mut g, ids) = host();
+        let mut idx = OneIndex::build(&g);
+        let bad = vec![
+            UpdateOp::RemoveNode { node: ids[&2] },
+            UpdateOp::RemoveNode { node: ids[&2] },
+        ];
+        assert_eq!(
+            apply_batch_1index(&mut idx, &mut g, &bad).unwrap_err(),
+            BatchError::DeadNode(ids[&2])
+        );
+    }
+}

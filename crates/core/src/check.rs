@@ -1,0 +1,333 @@
+//! Validity and minimality checkers for structural indexes.
+//!
+//! These verify, from first principles, the two properties the paper's
+//! algorithms guarantee:
+//!
+//! * **validity** (Definition 2): label-homogeneous and stable with respect
+//!   to itself — every inode `I` and `J` satisfy `I ⊆ Succ(J)` or
+//!   `I ∩ Succ(J) = ∅`;
+//! * **minimality** (Definition 5): no two inodes can be merged without
+//!   breaking stability — equivalently (remark after Definition 5), no two
+//!   inodes have the same label and the same set of index parents.
+//!
+//! Both run in O(n + m) and are used pervasively by the test suite.
+
+use crate::partition::Partition;
+use std::collections::{HashMap, HashSet};
+use xsi_graph::{Graph, NodeId};
+
+/// Internal: dense block assignment for checking, extracted once.
+fn assignment(g: &Graph, p: &Partition) -> Vec<u32> {
+    let mut a = vec![u32::MAX; g.capacity()];
+    for b in p.blocks() {
+        for &n in p.extent(b) {
+            a[n.index()] = b.0;
+        }
+    }
+    a
+}
+
+/// Checks Definition 2: every live node is indexed, inodes are
+/// label-homogeneous, and the partition is stable with respect to itself.
+pub fn is_valid_1index(g: &Graph, p: &Partition) -> bool {
+    validity_violation(g, p).is_none()
+}
+
+/// Like [`is_valid_1index`] but reports the first violation found, for
+/// debugging failing tests.
+pub fn validity_violation(g: &Graph, p: &Partition) -> Option<String> {
+    for n in g.nodes() {
+        if !p.is_indexed(n) {
+            return Some(format!("node {n:?} not indexed"));
+        }
+    }
+    let assign = assignment(g, p);
+    // Label homogeneity.
+    for b in p.blocks() {
+        let label = p.label(b);
+        for &n in p.extent(b) {
+            if g.label(n) != label {
+                return Some(format!("block {b:?} mixes labels at {n:?}"));
+            }
+        }
+    }
+    // Stability: for each splitter block J, Succ(J) must contain each block
+    // entirely or not at all.
+    for j in p.blocks() {
+        let mut succ: HashSet<NodeId> = HashSet::new();
+        for &u in p.extent(j) {
+            succ.extend(g.succ(u));
+        }
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &v in &succ {
+            *counts.entry(assign[v.index()]).or_insert(0) += 1;
+        }
+        for (&b, &c) in &counts {
+            let size = p.size(crate::partition::BlockId(b));
+            if c < size {
+                return Some(format!(
+                    "block B{b} unstable wrt {j:?}: {c} of {size} nodes in Succ"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Checks Definition 5 minimality: the index is valid **and** no two
+/// inodes share both label and index-parent set.
+pub fn is_minimal_1index(g: &Graph, p: &Partition) -> bool {
+    minimality_violation(g, p).is_none()
+}
+
+/// Like [`is_minimal_1index`] but reports the first violation found.
+pub fn minimality_violation(g: &Graph, p: &Partition) -> Option<String> {
+    if let Some(v) = validity_violation(g, p) {
+        return Some(v);
+    }
+    // Recompute parent sets from the graph (not trusting the partition's
+    // own maps — this is a checker).
+    let assign = assignment(g, p);
+    let mut parent_sets: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for b in p.blocks() {
+        parent_sets.entry(b.0).or_default();
+    }
+    for u in g.nodes() {
+        for v in g.succ(u) {
+            parent_sets
+                .entry(assign[v.index()])
+                .or_default()
+                .insert(assign[u.index()]);
+        }
+    }
+    let mut seen: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+    for b in p.blocks() {
+        let mut ps: Vec<u32> = parent_sets[&b.0].iter().copied().collect();
+        ps.sort_unstable();
+        let key = (p.label(b).index() as u32, ps);
+        if let Some(&other) = seen.get(&key) {
+            return Some(format!(
+                "blocks B{other} and {b:?} share label and parent set — mergeable"
+            ));
+        }
+        seen.insert(key, b.0);
+    }
+    None
+}
+
+/// Checks that `chain[0..=k]` is a valid A(i)-index chain (Definition 4):
+/// `chain[0]` is the label partition, and each `chain[i]` refines
+/// `chain[i-1]` and is stable with respect to it. Assignments use the
+/// [`crate::reference::ClassAssignment`] convention.
+pub fn is_valid_ak_chain(g: &Graph, chain: &[Vec<u32>]) -> bool {
+    ak_chain_violation(g, chain).is_none()
+}
+
+/// Like [`is_valid_ak_chain`] but reports the first violation found.
+pub fn ak_chain_violation(g: &Graph, chain: &[Vec<u32>]) -> Option<String> {
+    if chain.is_empty() {
+        return Some("empty chain".into());
+    }
+    // Level 0 must group exactly by label.
+    let mut label_of_class: HashMap<u32, xsi_graph::Label> = HashMap::new();
+    let mut class_of_label: HashMap<xsi_graph::Label, u32> = HashMap::new();
+    for n in g.nodes() {
+        let c = chain[0][n.index()];
+        let l = g.label(n);
+        if *label_of_class.entry(c).or_insert(l) != l {
+            return Some(format!("A(0) class {c} mixes labels"));
+        }
+        if *class_of_label.entry(l).or_insert(c) != c {
+            return Some(format!("A(0) splits label {l:?} across classes"));
+        }
+    }
+    for i in 1..chain.len() {
+        let (prev, cur) = (&chain[i - 1], &chain[i]);
+        // Refinement.
+        let mut up: HashMap<u32, u32> = HashMap::new();
+        for n in g.nodes() {
+            let c = cur[n.index()];
+            let p = prev[n.index()];
+            if *up.entry(c).or_insert(p) != p {
+                return Some(format!("A({i}) class {c} spans two A({}) classes", i - 1));
+            }
+        }
+        // Stability of cur w.r.t. prev: group Succ of each prev class.
+        let mut succ_of_prev: HashMap<u32, HashSet<NodeId>> = HashMap::new();
+        for u in g.nodes() {
+            for v in g.succ(u) {
+                succ_of_prev.entry(prev[u.index()]).or_default().insert(v);
+            }
+        }
+        let mut cur_sizes: HashMap<u32, usize> = HashMap::new();
+        for n in g.nodes() {
+            *cur_sizes.entry(cur[n.index()]).or_insert(0) += 1;
+        }
+        for (pc, succ) in &succ_of_prev {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for v in succ {
+                *counts.entry(cur[v.index()]).or_insert(0) += 1;
+            }
+            for (c, cnt) in counts {
+                if cnt < cur_sizes[&c] {
+                    return Some(format!(
+                        "A({i}) class {c} unstable wrt A({}) class {pc}",
+                        i - 1
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The paper's quality metric (Section 3):
+/// `#inodes / #inodes-in-minimum − 1`, which the algorithms aim to keep at
+/// zero.
+pub fn quality(index_size: usize, minimum_size: usize) -> f64 {
+    assert!(minimum_size > 0, "minimum index cannot be empty");
+    index_size as f64 / minimum_size as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use crate::reference;
+    use xsi_graph::GraphBuilder;
+
+    fn partition_from_classes(g: &Graph, classes: &[u32]) -> Partition {
+        let mut p = Partition::new(g);
+        let mut blocks: HashMap<u32, crate::partition::BlockId> = HashMap::new();
+        for n in g.nodes() {
+            let c = classes[n.index()];
+            let b = *blocks.entry(c).or_insert_with(|| p.new_block(g.label(n)));
+            p.attach_node(n, b);
+        }
+        p.rebuild_counts(g);
+        p
+    }
+
+    /// Figure 4(a): root -> a1, a2 where a1 -> b1 -> a1 back-cycle and
+    /// a2 -> b2 -> a2 back-cycle (two parallel 2-cycles).
+    fn figure4_graph() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+        GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "A"), (4, "B")])
+            .edges(&[(1, 2), (3, 4)])
+            .idref_edges(&[(2, 1), (4, 3)])
+            .root_to(1)
+            .root_to(3)
+            .build_with_ids()
+    }
+
+    #[test]
+    fn bisim_partition_is_valid_and_minimal() {
+        let (g, _) = figure4_graph();
+        let classes = reference::bisim_classes(&g);
+        let p = partition_from_classes(&g, &classes);
+        assert!(is_valid_1index(&g, &p), "{:?}", validity_violation(&g, &p));
+        assert!(
+            is_minimal_1index(&g, &p),
+            "{:?}",
+            minimality_violation(&g, &p)
+        );
+    }
+
+    #[test]
+    fn figure4_minimal_not_minimum() {
+        // Figure 4(c): split each cycle into its own pair of inodes.
+        // {1},{2},{3},{4} is minimal (1 and 3 have different index parents:
+        // {ROOT, B1} vs {ROOT, B2}) yet not minimum ({1,3},{2,4} is valid).
+        let (g, ids) = figure4_graph();
+        let mut classes = vec![u32::MAX; g.capacity()];
+        classes[g.root().index()] = 0;
+        classes[ids[&1].index()] = 1;
+        classes[ids[&2].index()] = 2;
+        classes[ids[&3].index()] = 3;
+        classes[ids[&4].index()] = 4;
+        let p = partition_from_classes(&g, &classes);
+        assert!(is_valid_1index(&g, &p));
+        assert!(
+            is_minimal_1index(&g, &p),
+            "{:?}",
+            minimality_violation(&g, &p)
+        );
+        // ... but the minimum has 3 inodes, so this minimal index is not
+        // minimum: quality = 5/3 − 1 > 0.
+        let min = reference::partition_size(&g, &reference::bisim_classes(&g));
+        assert_eq!(min, 3);
+        assert!(quality(p.block_count(), min) > 0.0);
+    }
+
+    #[test]
+    fn label_partition_of_cyclic_graph_is_invalid() {
+        let (g, _) = figure4_graph();
+        let classes = reference::label_classes(&g);
+        let p = partition_from_classes(&g, &classes);
+        // {a1,a2} vs {b1,b2} here IS stable; add asymmetry to break it.
+        // (This specific graph's label partition is the minimum index.)
+        assert!(is_valid_1index(&g, &p));
+
+        // Asymmetric graph: root -> a1 -> b, root -> a2 (no b child).
+        let (g2, _) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "A"), (3, "B"), (4, "B")])
+            .edges(&[(1, 3)])
+            .root_to(1)
+            .root_to(2)
+            .root_to(4)
+            .build_with_ids();
+        let classes2 = reference::label_classes(&g2);
+        let p2 = partition_from_classes(&g2, &classes2);
+        assert!(
+            !is_valid_1index(&g2, &p2),
+            "{{b-with-parent-a, b-with-parent-root}} must be unstable"
+        );
+    }
+
+    #[test]
+    fn singleton_partition_valid_but_not_minimal() {
+        // Putting every node in its own block is always a valid 1-index
+        // ("the worst is the data graph itself") but rarely minimal.
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "B")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids();
+        let mut classes = vec![u32::MAX; g.capacity()];
+        for (i, n) in g.nodes().enumerate() {
+            classes[n.index()] = i as u32;
+        }
+        let p = partition_from_classes(&g, &classes);
+        assert!(is_valid_1index(&g, &p));
+        assert!(!is_minimal_1index(&g, &p), "{{2}} and {{3}} are mergeable");
+    }
+
+    #[test]
+    fn reference_chain_passes_ak_checker() {
+        let (g, _) = figure4_graph();
+        let chain = reference::k_bisim_chain(&g, 3);
+        assert!(
+            is_valid_ak_chain(&g, &chain),
+            "{:?}",
+            ak_chain_violation(&g, &chain)
+        );
+    }
+
+    #[test]
+    fn ak_checker_rejects_non_refinement() {
+        let (g, _) = figure4_graph();
+        let mut chain = reference::k_bisim_chain(&g, 2);
+        // Corrupt level 2: collapse everything into one class — not a
+        // refinement of level 1.
+        for n in g.nodes() {
+            chain[2][n.index()] = 0;
+        }
+        assert!(!is_valid_ak_chain(&g, &chain));
+    }
+
+    #[test]
+    fn quality_metric() {
+        assert_eq!(quality(100, 100), 0.0);
+        assert!((quality(105, 100) - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! The *propagate* baseline (Kaushik, Bohannon, Naughton, Shenoy —
+//! VLDB'02), as characterized in Sections 2 and 7.1 of the paper: it runs
+//! the same Paige–Tarjan split propagation as the split/merge algorithm
+//! but **never merges**, so the index stays correct but drifts away from
+//! minimal — by about 3–5 % after 500 updates in the original experiments,
+//! degrading roughly linearly until an explicit reconstruction.
+//!
+//! Sharing the split phase with [`super::maintain`] makes the experimental
+//! comparison exactly the one the paper ran: the only difference between
+//! the two algorithms is the merge phase.
+
+use crate::stats::UpdateStats;
+use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
+
+use super::OneIndex;
+
+impl OneIndex {
+    /// Inserts the dedge `(u, v)` maintaining the index with the
+    /// *propagate* algorithm: split phase only, no merge phase.
+    pub fn propagate_insert_edge(
+        &mut self,
+        g: &mut Graph,
+        u: NodeId,
+        v: NodeId,
+        kind: EdgeKind,
+    ) -> Result<UpdateStats, GraphError> {
+        g.insert_edge(u, v, kind)?;
+        Ok(self.apply_insert(g, u, v, false))
+    }
+
+    /// Deletes the dedge `(u, v)` maintaining the index with the
+    /// *propagate* algorithm (split phase only).
+    pub fn propagate_delete_edge(
+        &mut self,
+        g: &mut Graph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<(UpdateStats, EdgeKind), GraphError> {
+        let kind = g.delete_edge(u, v)?;
+        Ok((self.apply_delete(g, u, v, false), kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::figure2_graph;
+    use super::*;
+    use crate::check::{is_minimal_1index, is_valid_1index};
+
+    /// On Figure 2, propagate performs the splits but not the merges,
+    /// leaving a valid but non-minimal index with two extra inodes.
+    #[test]
+    fn propagate_leaves_unmerged_blocks() {
+        let (mut g, ids) = figure2_graph();
+        let mut split_merge = OneIndex::build(&g);
+        let mut propagate = split_merge.clone();
+
+        let mut g2 = g.clone();
+        let sm = split_merge
+            .insert_edge(&mut g, ids[&1], ids[&4], EdgeKind::IdRef)
+            .unwrap();
+        let pr = propagate
+            .propagate_insert_edge(&mut g2, ids[&1], ids[&4], EdgeKind::IdRef)
+            .unwrap();
+
+        assert_eq!(sm.splits, pr.splits, "identical split phases");
+        assert_eq!(pr.merges, 0);
+        assert_eq!(propagate.block_count(), split_merge.block_count() + 2);
+        assert!(is_valid_1index(&g2, propagate.partition()));
+        assert!(!is_minimal_1index(&g2, propagate.partition()));
+        propagate.partition().check_consistency(&g2).unwrap();
+    }
+
+    /// Propagate deletions are also valid-but-possibly-non-minimal.
+    #[test]
+    fn propagate_delete_stays_valid() {
+        let (mut g, ids) = figure2_graph();
+        let mut idx = OneIndex::build(&g);
+        idx.propagate_insert_edge(&mut g, ids[&1], ids[&4], EdgeKind::IdRef)
+            .unwrap();
+        idx.propagate_delete_edge(&mut g, ids[&1], ids[&4]).unwrap();
+        assert!(is_valid_1index(&g, idx.partition()));
+        idx.partition().check_consistency(&g).unwrap();
+    }
+}

@@ -1,0 +1,219 @@
+//! Reference (oracle) implementations of bisimulation partitioning.
+//!
+//! These compute the *minimum* 1-index and A(k)-index chains by naive
+//! fixpoint signature refinement — no incrementality, no cleverness, just
+//! the definitions. The property-based tests pit the production algorithms
+//! against these oracles on thousands of random graphs; the experiment
+//! harness uses them to compute the paper's quality metric
+//! (`#inodes / #inodes-in-minimum − 1`, Section 3).
+//!
+//! The 1-index partitions dnodes by (backward) *bisimilarity*: `u ~ v` iff
+//! they share a label and their parent classes coincide, taken to fixpoint.
+//! The A(k)-index stops after `k` rounds (`k`-bisimilarity), so the chain
+//! `A(0), …, A(k)` is exactly the successive refinement sequence.
+
+use std::collections::HashMap;
+use xsi_graph::{Graph, NodeId};
+
+/// Class assignment: `classes[node.index()]` is the class of each live
+/// node; dead slots hold `u32::MAX`.
+pub type ClassAssignment = Vec<u32>;
+
+const DEAD: u32 = u32::MAX;
+
+/// Assigns each live node its label class — the A(0)-index partition.
+pub fn label_classes(g: &Graph) -> ClassAssignment {
+    let mut classes = vec![DEAD; g.capacity()];
+    for n in g.nodes() {
+        classes[n.index()] = g.label(n).index() as u32;
+    }
+    renumber(g, classes)
+}
+
+/// One refinement round: the new class of `n` is determined by its current
+/// class plus the set of current classes of its parents.
+pub fn refine_once(g: &Graph, classes: &ClassAssignment) -> ClassAssignment {
+    let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+    let mut next = vec![DEAD; g.capacity()];
+    for n in g.nodes() {
+        let mut parents: Vec<u32> = g.pred(n).map(|p| classes[p.index()]).collect();
+        parents.sort_unstable();
+        parents.dedup();
+        let sig = (classes[n.index()], parents);
+        let id = sig_ids.len() as u32;
+        next[n.index()] = *sig_ids.entry(sig).or_insert(id);
+    }
+    next
+}
+
+fn class_count(g: &Graph, classes: &ClassAssignment) -> usize {
+    let mut seen: Vec<u32> = g.nodes().map(|n| classes[n.index()]).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Renumbers classes densely (stable with respect to class content) so
+/// that assignments can be compared structurally.
+fn renumber(g: &Graph, classes: ClassAssignment) -> ClassAssignment {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    let mut out = vec![DEAD; classes.len()];
+    for n in g.nodes() {
+        let c = classes[n.index()];
+        let id = map.len() as u32;
+        out[n.index()] = *map.entry(c).or_insert(id);
+    }
+    out
+}
+
+/// The full bisimulation partition — the **minimum 1-index** (Lemma 1
+/// guarantees it is unique). Runs refinement to fixpoint.
+pub fn bisim_classes(g: &Graph) -> ClassAssignment {
+    let mut classes = label_classes(g);
+    let mut count = class_count(g, &classes);
+    loop {
+        let next = refine_once(g, &classes);
+        let next_count = class_count(g, &next);
+        if next_count == count {
+            return classes;
+        }
+        classes = renumber(g, next);
+        count = next_count;
+    }
+}
+
+/// The `A(0) … A(k)` chain of **minimum A(i)-index** partitions (Lemma 2
+/// guarantees each is unique). `result[i]` is the A(i) partition;
+/// `result.len() == k + 1`.
+pub fn k_bisim_chain(g: &Graph, k: usize) -> Vec<ClassAssignment> {
+    let mut chain = Vec::with_capacity(k + 1);
+    chain.push(label_classes(g));
+    for _ in 0..k {
+        let prev = chain.last().expect("chain is never empty");
+        let next = renumber(g, refine_once(g, prev));
+        chain.push(next);
+    }
+    chain
+}
+
+/// Converts an assignment into the canonical sorted-extent form used for
+/// partition equality tests.
+pub fn canonical_partition(g: &Graph, classes: &ClassAssignment) -> Vec<Vec<NodeId>> {
+    let mut by_class: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for n in g.nodes() {
+        by_class.entry(classes[n.index()]).or_default().push(n);
+    }
+    let mut out: Vec<Vec<NodeId>> = by_class.into_values().collect();
+    for extent in &mut out {
+        extent.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+/// Number of classes in an assignment — the size of the minimum index,
+/// the denominator of the paper's quality metric.
+pub fn partition_size(g: &Graph, classes: &ClassAssignment) -> usize {
+    class_count(g, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::GraphBuilder;
+
+    #[test]
+    fn bisim_on_figure2_before_insert() {
+        // Figure 2(a) without the dashed edge; Figure 2(b) shows the
+        // 1-index: {1}, {2}, {3,4,5}... actually {3,4} and {5}? The figure
+        // shows A{1}, B{2}, C{3,4} with parents... Transcribing 2(a):
+        // 1:A -> 2:B, 1 -> 3:C ; 2 -> 4:C, 2 -> 5:C ; 3 -> 6:D, 4 -> 7:D,
+        // 5 -> 8:D. 1-index (b): {1},{2},{3},{4,5},{6},{7,8}.
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "C"), (4, "C"), (5, "C")])
+            .nodes(&[(6, "D"), (7, "D"), (8, "D")])
+            .edges(&[(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (4, 7), (5, 8)])
+            .root_to(1)
+            .build_with_ids();
+        let classes = bisim_classes(&g);
+        let canon = canonical_partition(&g, &classes);
+        // ROOT, {1}, {2}, {3}, {4,5}, {6}, {7,8}
+        assert_eq!(canon.len(), 7);
+        assert_eq!(
+            classes[ids[&4].index()],
+            classes[ids[&5].index()],
+            "4 and 5 both have the single parent class {{2}}"
+        );
+        assert_ne!(
+            classes[ids[&3].index()],
+            classes[ids[&4].index()],
+            "3's parent is 1, 4's parent is 2"
+        );
+        assert_eq!(classes[ids[&7].index()], classes[ids[&8].index()]);
+        assert_ne!(classes[ids[&6].index()], classes[ids[&7].index()]);
+    }
+
+    #[test]
+    fn k_bisim_chain_is_monotone_refinement() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "C"), (4, "C"), (5, "C")])
+            .nodes(&[(6, "D"), (7, "D"), (8, "D")])
+            .edges(&[(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (4, 7), (5, 8)])
+            .root_to(1)
+            .build_with_ids();
+        let chain = k_bisim_chain(&g, 4);
+        assert_eq!(chain.len(), 5);
+        for i in 1..chain.len() {
+            // Refinement: same class at level i implies same class at i−1.
+            let mut level_to_prev: HashMap<u32, u32> = HashMap::new();
+            for n in g.nodes() {
+                let c = chain[i][n.index()];
+                let p = chain[i - 1][n.index()];
+                let entry = level_to_prev.entry(c).or_insert(p);
+                assert_eq!(*entry, p, "A({i}) does not refine A({})", i - 1);
+            }
+            assert!(partition_size(&g, &chain[i]) >= partition_size(&g, &chain[i - 1]));
+        }
+    }
+
+    #[test]
+    fn chain_converges_to_bisim_on_shallow_graph() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "B")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids();
+        // Depth 2 graph: A(3) is already the full bisimulation.
+        let chain = k_bisim_chain(&g, 3);
+        let full = bisim_classes(&g);
+        assert_eq!(
+            canonical_partition(&g, &chain[3]),
+            canonical_partition(&g, &full)
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_reaches_fixpoint() {
+        // a -> b -> a cycle plus root entry.
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "A"), (4, "B")])
+            .edges(&[(1, 2), (2, 3), (3, 4), (4, 1)])
+            .root_to(1)
+            .build_with_ids();
+        let classes = bisim_classes(&g);
+        // 1 has parents {ROOT, 4}, 3 has parents {2}: different classes.
+        assert_ne!(classes[ids[&1].index()], classes[ids[&3].index()]);
+    }
+
+    #[test]
+    fn label_classes_group_by_label_only() {
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "B")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids();
+        let classes = label_classes(&g);
+        assert_eq!(classes[ids[&2].index()], classes[ids[&3].index()]);
+        assert_ne!(classes[ids[&1].index()], classes[ids[&2].index()]);
+    }
+}

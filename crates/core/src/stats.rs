@@ -1,0 +1,62 @@
+//! Per-update statistics, used by the efficiency analysis of Section 5.1
+//! ("the numbers of split and merge operations are |Φ₁| − |Φ₀| and
+//! |Φ₁| − |Φ₂|") and by the Figure 5 worst-case experiment.
+
+/// Counters describing what one incremental update did to an index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Number of block splits performed (|Φ₁(G₂)| − |Φ₀(G₀)|).
+    pub splits: usize,
+    /// Number of block merges performed (|Φ₁(G₂)| − |Φ₂(G₂)|).
+    pub merges: usize,
+    /// Index size after the split phase, before the merge phase — the
+    /// intermediate index Φ₁ whose potential blow-up Figure 5 illustrates.
+    pub intermediate_blocks: usize,
+    /// Index size after the whole update (|Φ₂|).
+    pub final_blocks: usize,
+    /// Whether the update was a no-op for the index (the early-return cases
+    /// of Figure 3: the iedge already existed / still exists).
+    pub no_op: bool,
+}
+
+impl UpdateStats {
+    /// Accumulates another update's counters into `self` (for workload
+    /// totals). `intermediate_blocks`/`final_blocks` keep the maximum and
+    /// last value respectively.
+    pub fn absorb(&mut self, other: &UpdateStats) {
+        self.splits += other.splits;
+        self.merges += other.merges;
+        self.intermediate_blocks = self.intermediate_blocks.max(other.intermediate_blocks);
+        self.final_blocks = other.final_blocks;
+        self.no_op &= other.no_op;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = UpdateStats {
+            splits: 1,
+            merges: 2,
+            intermediate_blocks: 10,
+            final_blocks: 8,
+            no_op: true,
+        };
+        let b = UpdateStats {
+            splits: 3,
+            merges: 1,
+            intermediate_blocks: 7,
+            final_blocks: 9,
+            no_op: false,
+        };
+        a.absorb(&b);
+        assert_eq!(a.splits, 4);
+        assert_eq!(a.merges, 3);
+        assert_eq!(a.intermediate_blocks, 10);
+        assert_eq!(a.final_blocks, 9);
+        assert!(!a.no_op);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the A(k)-index: Theorem 2 says the split/merge
+//! algorithm maintains the unique **minimum** A(0)..A(k) chain on *any*
+//! data graph — so after every random update the maintained chain must be
+//! partition-identical to a from-scratch rebuild, level by level.
+
+use proptest::prelude::*;
+use xsi_core::check::{ak_chain_violation, is_valid_ak_chain};
+use xsi_core::reference;
+use xsi_core::{AkIndex, SimpleAkIndex};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+#[derive(Debug, Clone)]
+struct Spec {
+    labels: Vec<u8>,
+    edges: Vec<(usize, usize)>,
+    toggles: Vec<usize>,
+    k: usize,
+}
+
+fn spec(max_nodes: usize, max_edges: usize, max_toggles: usize) -> impl Strategy<Value = Spec> {
+    (2..=max_nodes, 0usize..=4).prop_flat_map(move |(n, k)| {
+        (
+            proptest::collection::vec(0u8..3, n),
+            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
+            proptest::collection::vec(0..(n * n), 1..=max_toggles),
+        )
+            .prop_map(move |(labels, edges, toggles)| Spec {
+                labels,
+                edges,
+                toggles,
+                k,
+            })
+    })
+}
+
+fn build_graph(spec: &Spec) -> (Graph, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let names = ["a", "b", "c"];
+    let nodes: Vec<NodeId> = spec
+        .labels
+        .iter()
+        .map(|&l| g.add_node(names[l as usize], None))
+        .collect();
+    let root = g.root();
+    for &n in &nodes {
+        g.insert_edge(root, n, EdgeKind::Child).unwrap();
+    }
+    for &(u, v) in &spec.edges {
+        if u != v {
+            let _ = g.insert_edge(nodes[u], nodes[v], EdgeKind::Child);
+        }
+    }
+    (g, nodes)
+}
+
+fn assert_minimum_chain(g: &Graph, idx: &AkIndex) {
+    idx.check_consistency(g).unwrap();
+    let chain = idx.chain_assignments(g);
+    assert!(
+        is_valid_ak_chain(g, &chain),
+        "{:?}\n{idx:?}",
+        ak_chain_violation(g, &chain)
+    );
+    let oracle = reference::k_bisim_chain(g, idx.k());
+    for level in 0..=idx.k() {
+        assert_eq!(
+            reference::canonical_partition(g, &chain[level]),
+            reference::canonical_partition(g, &oracle[level]),
+            "level {level} of k={} chain is not minimum\ngraph: {g:?}\n{idx:?}",
+            idx.k()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Construction equals the oracle chain at every level.
+    #[test]
+    fn construction_matches_oracle(s in spec(8, 18, 1)) {
+        let (g, _) = build_graph(&s);
+        let idx = AkIndex::build(&g, s.k);
+        assert_minimum_chain(&g, &idx);
+    }
+
+    /// Random edge toggles: the maintained chain stays the minimum chain
+    /// (Theorem 2) on arbitrary, possibly cyclic graphs.
+    #[test]
+    fn updates_maintain_minimum_chain(s in spec(7, 10, 16)) {
+        let (mut g, nodes) = build_graph(&s);
+        let mut idx = AkIndex::build(&g, s.k);
+        let n = nodes.len();
+        for &t in &s.toggles {
+            let (u, v) = (nodes[t / n], nodes[t % n]);
+            if u == v {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                idx.delete_edge(&mut g, u, v).unwrap();
+            } else {
+                idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            }
+            assert_minimum_chain(&g, &idx);
+        }
+    }
+
+    /// The simple baseline is always a refinement of the minimum (safe),
+    /// never smaller than it, and a rebuild lands exactly on the minimum.
+    #[test]
+    fn simple_baseline_is_safe(s in spec(7, 10, 12)) {
+        let (mut g, nodes) = build_graph(&s);
+        let mut simple = SimpleAkIndex::build(&g, s.k);
+        let n = nodes.len();
+        for &t in &s.toggles {
+            let (u, v) = (nodes[t / n], nodes[t % n]);
+            if u == v {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                simple.delete_edge(&mut g, u, v).unwrap();
+            } else {
+                simple.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            }
+            let oracle = reference::k_bisim_chain(&g, s.k).pop().unwrap();
+            let min_size = reference::partition_size(&g, &oracle);
+            prop_assert!(simple.block_count() >= min_size);
+            // Refinement check: same simple block ⇒ same oracle class.
+            let sa = simple.assignment(&g);
+            let mut map = std::collections::HashMap::new();
+            for w in g.nodes() {
+                let e = map.entry(sa[w.index()]).or_insert(oracle[w.index()]);
+                prop_assert_eq!(*e, oracle[w.index()], "not a refinement");
+            }
+        }
+        let rebuilt = SimpleAkIndex::build(&g, s.k);
+        let oracle = reference::k_bisim_chain(&g, s.k).pop().unwrap();
+        prop_assert_eq!(
+            rebuilt.canonical(&g),
+            reference::canonical_partition(&g, &oracle)
+        );
+    }
+
+    /// Mixed node + edge life cycle: add a node, wire it, unwire it,
+    /// remove it — the chain must return to its original partition.
+    #[test]
+    fn node_lifecycle_round_trip(s in spec(6, 8, 1), label in 0u8..3, attach in 0usize..6) {
+        let (mut g, nodes) = build_graph(&s);
+        let mut idx = AkIndex::build(&g, s.k);
+        let before = idx.canonical();
+        let names = ["a", "b", "c"];
+        let fresh = g.add_node(names[label as usize], None);
+        idx.on_node_added(&g, fresh);
+        assert_minimum_chain(&g, &idx);
+        let anchor = nodes[attach % nodes.len()];
+        idx.insert_edge(&mut g, anchor, fresh, EdgeKind::Child).unwrap();
+        assert_minimum_chain(&g, &idx);
+        idx.delete_edge(&mut g, anchor, fresh).unwrap();
+        assert_minimum_chain(&g, &idx);
+        idx.on_node_removing(&g, fresh);
+        g.remove_node(fresh).unwrap();
+        prop_assert_eq!(idx.canonical(), before);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests: the 1-index split/merge maintenance versus the
+//! naive fixpoint oracle, on randomized graphs and update sequences.
+//!
+//! These encode the paper's theorems directly:
+//! * Lemma 3 / Theorem 1 (cyclic clause): after any update the index is a
+//!   valid, **minimal** 1-index;
+//! * Theorem 1 (acyclic clause): on DAGs the maintained index *equals*
+//!   the unique minimum 1-index (the oracle's fixpoint partition).
+
+use proptest::prelude::*;
+use xsi_core::check::{is_valid_1index, minimality_violation};
+use xsi_core::reference;
+use xsi_core::OneIndex;
+use xsi_graph::{is_acyclic, EdgeKind, Graph, NodeId};
+
+/// A small random graph description: node labels from a tiny alphabet and
+/// candidate edges as (from, to) index pairs.
+#[derive(Debug, Clone)]
+struct RandomGraphSpec {
+    labels: Vec<u8>,
+    edges: Vec<(usize, usize)>,
+    /// Updates: (edge index into `all_pairs`, insert?) toggles.
+    toggles: Vec<usize>,
+}
+
+fn spec_strategy(
+    max_nodes: usize,
+    max_edges: usize,
+    max_toggles: usize,
+) -> impl Strategy<Value = RandomGraphSpec> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
+            proptest::collection::vec(0..(n * n), 1..=max_toggles),
+        )
+            .prop_map(|(labels, edges, toggles)| RandomGraphSpec {
+                labels,
+                edges,
+                toggles,
+            })
+    })
+}
+
+/// Materializes the spec: nodes (each connected from the root so the graph
+/// is rooted), then the initial edge set (dedup, no self-loops).
+fn build_graph(spec: &RandomGraphSpec) -> (Graph, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let labels = ["a", "b", "c", "d"];
+    let nodes: Vec<NodeId> = spec
+        .labels
+        .iter()
+        .map(|&l| g.add_node(labels[l as usize], None))
+        .collect();
+    let root = g.root();
+    for &n in &nodes {
+        g.insert_edge(root, n, EdgeKind::Child).unwrap();
+    }
+    for &(u, v) in &spec.edges {
+        if u != v {
+            let _ = g.insert_edge(nodes[u], nodes[v], EdgeKind::Child);
+        }
+    }
+    (g, nodes)
+}
+
+fn assert_minimal_and_tracking(g: &Graph, idx: &OneIndex) {
+    idx.partition().check_consistency(g).unwrap();
+    assert!(is_valid_1index(g, idx.partition()));
+    if let Some(v) = minimality_violation(g, idx.partition()) {
+        panic!(
+            "index not minimal: {v}\ngraph: {g:?}\nindex: {:?}",
+            idx.partition()
+        );
+    }
+    if is_acyclic(g) {
+        let classes = reference::bisim_classes(g);
+        assert_eq!(
+            idx.canonical(),
+            reference::canonical_partition(g, &classes),
+            "DAG index must be the minimum 1-index\ngraph: {g:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Construction matches the oracle on arbitrary (cyclic) graphs.
+    #[test]
+    fn construction_matches_oracle(spec in spec_strategy(8, 20, 1)) {
+        let (g, _) = build_graph(&spec);
+        let idx = OneIndex::build(&g);
+        idx.partition().check_consistency(&g).unwrap();
+        let classes = reference::bisim_classes(&g);
+        prop_assert_eq!(idx.canonical(), reference::canonical_partition(&g, &classes));
+    }
+
+    /// Toggling random edges (insert if absent, delete if present) keeps
+    /// the maintained index minimal, and minimum on DAGs.
+    #[test]
+    fn updates_preserve_minimality(spec in spec_strategy(7, 12, 24)) {
+        let (mut g, nodes) = build_graph(&spec);
+        let mut idx = OneIndex::build(&g);
+        let n = nodes.len();
+        for &t in &spec.toggles {
+            let (u, v) = (nodes[t / n], nodes[t % n]);
+            if u == v {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                // Never disconnect the root edges; they are part of the
+                // fixture. Toggle only non-root edges.
+                idx.delete_edge(&mut g, u, v).unwrap();
+            } else {
+                idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            }
+            assert_minimal_and_tracking(&g, &idx);
+        }
+    }
+
+    /// Propagate (split-only) always keeps the index *valid*, and a final
+    /// merge-capable update sequence... propagate's guarantee is only
+    /// safety: verify validity after every toggle.
+    #[test]
+    fn propagate_preserves_validity(spec in spec_strategy(7, 12, 16)) {
+        let (mut g, nodes) = build_graph(&spec);
+        let mut idx = OneIndex::build(&g);
+        let n = nodes.len();
+        for &t in &spec.toggles {
+            let (u, v) = (nodes[t / n], nodes[t % n]);
+            if u == v {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                idx.propagate_delete_edge(&mut g, u, v).unwrap();
+            } else {
+                idx.propagate_insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            }
+            idx.partition().check_consistency(&g).unwrap();
+            prop_assert!(is_valid_1index(&g, idx.partition()));
+            // Propagate never drops below the minimum size.
+            let min = reference::partition_size(&g, &reference::bisim_classes(&g));
+            prop_assert!(idx.block_count() >= min);
+        }
+    }
+
+    /// Subgraph round-trip: extracting, removing and re-adding a random
+    /// subtree preserves index minimality (Corollary 1).
+    #[test]
+    fn subgraph_removal_and_addition(spec in spec_strategy(8, 16, 1), pick in 0usize..8) {
+        let (mut g, nodes) = build_graph(&spec);
+        let mut idx = OneIndex::build(&g);
+        let root_pick = nodes[pick % nodes.len()];
+        let (sub, members) = xsi_graph::extract_subtree(&g, root_pick);
+        idx.remove_subgraph(&mut g, &members).unwrap();
+        assert_minimal_and_tracking(&g, &idx);
+        let (_, _stats) = idx.add_subgraph(&mut g, &sub).unwrap();
+        assert_minimal_and_tracking(&g, &idx);
+    }
+}

@@ -1,0 +1,156 @@
+//! A small fluent builder for constructing test graphs from edge lists.
+//!
+//! The paper's figures describe graphs as "letters for labels, numbers for
+//! dnodes"; the builder mirrors that notation so tests can transcribe a
+//! figure directly:
+//!
+//! ```
+//! use xsi_graph::GraphBuilder;
+//!
+//! // Figure 2(a), before the dashed insertion.
+//! let g = GraphBuilder::new()
+//!     .node(1, "A")
+//!     .nodes(&[(2, "B"), (3, "C"), (4, "C"), (5, "C")])
+//!     .nodes(&[(6, "D"), (7, "D"), (8, "D")])
+//!     .edges(&[(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (4, 7), (5, 8)])
+//!     .root_to(1)
+//!     .build();
+//! assert_eq!(g.node_count(), 9); // 8 + ROOT
+//! ```
+
+use crate::graph::{EdgeKind, Graph, NodeId};
+use std::collections::HashMap;
+
+/// Builds a [`Graph`] from human-readable node keys and an edge list.
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    by_key: HashMap<u64, NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over a fresh graph (containing only `ROOT`).
+    pub fn new() -> Self {
+        Self {
+            graph: Graph::new(),
+            by_key: HashMap::new(),
+        }
+    }
+
+    /// Adds a node identified by `key` with the given label.
+    ///
+    /// # Panics
+    /// Panics if `key` was already used.
+    pub fn node(mut self, key: u64, label: &str) -> Self {
+        let id = self.graph.add_node(label, None);
+        let prev = self.by_key.insert(key, id);
+        assert!(prev.is_none(), "duplicate node key {key}");
+        self
+    }
+
+    /// Adds several nodes at once.
+    pub fn nodes(mut self, nodes: &[(u64, &str)]) -> Self {
+        for &(key, label) in nodes {
+            self = self.node(key, label);
+        }
+        self
+    }
+
+    /// Adds `Child` edges between previously declared keys.
+    ///
+    /// # Panics
+    /// Panics on unknown keys or duplicate edges.
+    pub fn edges(mut self, edges: &[(u64, u64)]) -> Self {
+        for &(u, v) in edges {
+            let (u, v) = (self.id(u), self.id(v));
+            self.graph
+                .insert_edge(u, v, EdgeKind::Child)
+                .unwrap_or_else(|e| panic!("builder edge: {e}"));
+        }
+        self
+    }
+
+    /// Adds `IdRef` edges between previously declared keys.
+    pub fn idref_edges(mut self, edges: &[(u64, u64)]) -> Self {
+        for &(u, v) in edges {
+            let (u, v) = (self.id(u), self.id(v));
+            self.graph
+                .insert_edge(u, v, EdgeKind::IdRef)
+                .unwrap_or_else(|e| panic!("builder idref edge: {e}"));
+        }
+        self
+    }
+
+    /// Connects the graph root to the node with key `key`.
+    pub fn root_to(mut self, key: u64) -> Self {
+        let v = self.id(key);
+        let r = self.graph.root();
+        self.graph
+            .insert_edge(r, v, EdgeKind::Child)
+            .unwrap_or_else(|e| panic!("builder root edge: {e}"));
+        self
+    }
+
+    /// Resolves a key to its [`NodeId`].
+    ///
+    /// # Panics
+    /// Panics on unknown keys.
+    pub fn id(&self, key: u64) -> NodeId {
+        *self
+            .by_key
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown node key {key}"))
+    }
+
+    /// Finishes the build, returning the graph.
+    pub fn build(self) -> Graph {
+        debug_assert_eq!(self.graph.check_consistency(), Ok(()));
+        self.graph
+    }
+
+    /// Finishes the build, returning the graph together with the key→id map
+    /// (useful when a test needs to perform updates afterwards).
+    pub fn build_with_ids(self) -> (Graph, HashMap<u64, NodeId>) {
+        debug_assert_eq!(self.graph.check_consistency(), Ok(()));
+        (self.graph, self.by_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figure_like_graph() {
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "A"), (2, "B"), (3, "B")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(ids[&1], ids[&2]));
+        assert_eq!(g.label_name(ids[&2]), "B");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node key")]
+    fn duplicate_key_panics() {
+        let _ = GraphBuilder::new().node(1, "a").node(1, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node key")]
+    fn unknown_key_panics() {
+        let _ = GraphBuilder::new().node(1, "a").edges(&[(1, 2)]);
+    }
+
+    #[test]
+    fn idref_edges_get_kind() {
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "a"), (2, "b")])
+            .idref_edges(&[(1, 2)])
+            .build_with_ids();
+        assert_eq!(g.edge_kind(ids[&1], ids[&2]), Some(EdgeKind::IdRef));
+    }
+}

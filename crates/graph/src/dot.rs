@@ -1,0 +1,64 @@
+//! Graphviz DOT export for data graphs — a debugging aid mirroring the
+//! paper's figures (solid lines for containment, dashed for IDREF).
+
+use crate::graph::{EdgeKind, Graph};
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT syntax. Node labels show
+    /// `label:id`; IDREF edges are dashed like in Figure 1.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph g {\n  rankdir=TB;\n");
+        for n in self.nodes() {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}:{}\"];",
+                n,
+                escape(self.label_name(n)),
+                n
+            );
+        }
+        for (u, v, kind) in self.edges() {
+            let style = match kind {
+                EdgeKind::Child => "solid",
+                EdgeKind::IdRef => "dashed",
+            };
+            let _ = writeln!(out, "  n{u} -> n{v} [style={style}];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_styles() {
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "a"), (2, "b")])
+            .edges(&[(1, 2)])
+            .idref_edges(&[(2, 1)])
+            .root_to(1)
+            .build_with_ids();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains(&format!("n{} [label=\"a:{}\"];", ids[&1], ids[&1])));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g = Graph::new();
+        g.add_node("we\"ird", None);
+        assert!(g.to_dot().contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Graph traversal utilities: BFS, reachability, acyclicity, topological
+//! order, and strongly connected components.
+//!
+//! The paper's theory distinguishes acyclic from cyclic data graphs
+//! (Theorem 1 guarantees *minimum* 1-indexes only on DAGs), so the test
+//! suite and experiment harness need fast cyclicity checks; the A(k)
+//! *simple* baseline needs bounded-depth BFS.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first search over successors starting from `start`, visiting
+/// nodes at distance `<= max_depth` (distance 0 is `start` itself).
+///
+/// Returns the visited nodes in BFS order, including `start`.
+/// This is exactly the "descendants of v up to a maximum depth of k−1"
+/// scan of the simple A(k) update algorithm (Section 7.2).
+pub fn bfs_descendants(g: &Graph, start: NodeId, max_depth: usize) -> Vec<NodeId> {
+    let mut seen = vec![false; g.capacity()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back((start, 0usize));
+    while let Some((u, d)) = queue.pop_front() {
+        order.push(u);
+        if d == max_depth {
+            continue;
+        }
+        for v in g.succ(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from the root (the paper's data model assumes every node
+/// is reachable; generators uphold this, the checker verifies it).
+pub fn reachable_from_root(g: &Graph) -> Vec<NodeId> {
+    bfs_descendants(g, g.root(), usize::MAX)
+}
+
+/// Returns a topological order of the live nodes if the graph is acyclic,
+/// or `None` if it contains a cycle (Kahn's algorithm).
+pub fn topological_order(g: &Graph) -> Option<Vec<NodeId>> {
+    let mut indeg = vec![0usize; g.capacity()];
+    let mut live = 0usize;
+    for u in g.nodes() {
+        live += 1;
+        indeg[u.index()] = g.in_degree(u);
+    }
+    let mut queue: VecDeque<NodeId> = g.nodes().filter(|u| indeg[u.index()] == 0).collect();
+    let mut order = Vec::with_capacity(live);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.succ(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (order.len() == live).then_some(order)
+}
+
+/// Whether the data graph is acyclic.
+pub fn is_acyclic(g: &Graph) -> bool {
+    topological_order(g).is_some()
+}
+
+/// Tarjan's strongly connected components, iterative to survive deep
+/// graphs. Components are returned in reverse topological order of the
+/// condensation (i.e., a component appears before its predecessors).
+pub fn strongly_connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    const UNSET: u32 = u32::MAX;
+    let cap = g.capacity();
+    let mut index = vec![UNSET; cap];
+    let mut lowlink = vec![UNSET; cap];
+    let mut on_stack = vec![false; cap];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over succ).
+    for start in g.nodes() {
+        if index[start.index()] != UNSET {
+            continue;
+        }
+        // Each frame owns its successor list so successor iteration is O(1)
+        // amortized per edge rather than re-collected on every step.
+        let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = vec![(start, g.succ(start).collect(), 0)];
+        index[start.index()] = next_index;
+        lowlink[start.index()] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start.index()] = true;
+
+        loop {
+            let (u, next) = {
+                let Some((u, succs, pos)) = call.last_mut() else {
+                    break;
+                };
+                let u = *u;
+                if *pos < succs.len() {
+                    let v = succs[*pos];
+                    *pos += 1;
+                    (u, Some(v))
+                } else {
+                    (u, None)
+                }
+            };
+            match next {
+                Some(v) => {
+                    if index[v.index()] == UNSET {
+                        index[v.index()] = next_index;
+                        lowlink[v.index()] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v.index()] = true;
+                        call.push((v, g.succ(v).collect(), 0));
+                    } else if on_stack[v.index()] {
+                        lowlink[u.index()] = lowlink[u.index()].min(index[v.index()]);
+                    }
+                }
+                None => {
+                    call.pop();
+                    if let Some(&(p, _, _)) = call.last() {
+                        lowlink[p.index()] = lowlink[p.index()].min(lowlink[u.index()]);
+                    }
+                    if lowlink[u.index()] == index[u.index()] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+
+    /// root -> a -> b -> c, a -> c
+    fn dag() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a", None);
+        let b = g.add_node("b", None);
+        let c = g.add_node("c", None);
+        let r = g.root();
+        g.insert_edge(r, a, EdgeKind::Child).unwrap();
+        g.insert_edge(a, b, EdgeKind::Child).unwrap();
+        g.insert_edge(b, c, EdgeKind::Child).unwrap();
+        g.insert_edge(a, c, EdgeKind::Child).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn dag_is_acyclic_with_valid_topo_order() {
+        let (g, [a, b, c]) = dag();
+        assert!(is_acyclic(&g));
+        let order = topological_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(g.root()) < pos(a));
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+        assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let (mut g, [a, _, c]) = dag();
+        g.insert_edge(c, a, EdgeKind::IdRef).unwrap();
+        assert!(!is_acyclic(&g));
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn bfs_depth_limits() {
+        let (g, [a, b, c]) = dag();
+        let r = g.root();
+        assert_eq!(bfs_descendants(&g, r, 0), vec![r]);
+        assert_eq!(bfs_descendants(&g, r, 1), vec![r, a]);
+        let d2 = bfs_descendants(&g, r, 2);
+        assert_eq!(d2.len(), 4); // r, a, b, c (c at distance 2 via a)
+        assert!(d2.contains(&b) && d2.contains(&c));
+        assert_eq!(bfs_descendants(&g, r, usize::MAX).len(), g.node_count());
+    }
+
+    #[test]
+    fn reachability_sees_all_generated_nodes() {
+        let (g, _) = dag();
+        assert_eq!(reachable_from_root(&g).len(), g.node_count());
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let (g, _) = dag();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), g.node_count());
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        let (mut g, [a, b, c]) = dag();
+        g.insert_edge(c, a, EdgeKind::IdRef).unwrap();
+        let sccs = strongly_connected_components(&g);
+        let big = sccs.iter().find(|c| c.len() == 3).expect("3-cycle SCC");
+        for n in [a, b, c] {
+            assert!(big.contains(&n));
+        }
+        assert_eq!(sccs.len(), 2); // {root}, {a,b,c}
+    }
+
+    #[test]
+    fn scc_reverse_topological_property() {
+        let (mut g, [a, _, c]) = dag();
+        g.insert_edge(c, a, EdgeKind::IdRef).unwrap();
+        let sccs = strongly_connected_components(&g);
+        // The cycle component must be emitted before the root's component.
+        let cyc = sccs.iter().position(|c| c.len() == 3).unwrap();
+        let root = sccs.iter().position(|c| c.contains(&g.root())).unwrap();
+        assert!(cyc < root);
+    }
+}

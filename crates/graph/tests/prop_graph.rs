@@ -1,0 +1,155 @@
+//! Model-based property tests for the graph substrate: a random sequence
+//! of mutations is applied both to the [`Graph`] and to a trivially
+//! correct shadow model (hash sets); after every step the two must agree
+//! and the graph's internal invariants must hold.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(u8),
+    RemoveNode(usize),
+    InsertEdge(usize, usize, bool),
+    DeleteEdge(usize, usize),
+    SetValue(usize, Option<String>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::AddNode),
+        (0usize..24).prop_map(Op::RemoveNode),
+        (0usize..24, 0usize..24, any::<bool>()).prop_map(|(u, v, k)| Op::InsertEdge(u, v, k)),
+        (0usize..24, 0usize..24).prop_map(|(u, v)| Op::DeleteEdge(u, v)),
+        (
+            0usize..24,
+            proptest::option::of(proptest::string::string_regex("[a-z]{0,6}").unwrap())
+        )
+            .prop_map(|(n, v)| Op::SetValue(n, v)),
+    ]
+}
+
+#[derive(Default)]
+struct Model {
+    nodes: HashMap<NodeId, (String, Option<String>)>,
+    edges: HashSet<(NodeId, NodeId)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn graph_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let labels = ["w", "x", "y", "z"];
+        let mut g = Graph::new();
+        let mut model = Model::default();
+        model.nodes.insert(g.root(), ("ROOT".into(), None));
+        let mut handles: Vec<NodeId> = vec![g.root()];
+
+        for op in &ops {
+            match op {
+                Op::AddNode(l) => {
+                    let n = g.add_node(labels[*l as usize], None);
+                    model.nodes.insert(n, (labels[*l as usize].into(), None));
+                    handles.push(n);
+                }
+                Op::RemoveNode(i) => {
+                    let n = handles[i % handles.len()];
+                    let removable = model.nodes.contains_key(&n)
+                        && n != g.root()
+                        && !model.edges.iter().any(|&(a, b)| a == n || b == n);
+                    let res = g.remove_node(n);
+                    if removable {
+                        prop_assert!(res.is_ok());
+                        model.nodes.remove(&n);
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::InsertEdge(i, j, kind) => {
+                    let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
+                    let kind = if *kind { EdgeKind::IdRef } else { EdgeKind::Child };
+                    let legal = model.nodes.contains_key(&u)
+                        && model.nodes.contains_key(&v)
+                        && u != v
+                        && v != g.root()
+                        && !model.edges.contains(&(u, v));
+                    let res = g.insert_edge(u, v, kind);
+                    if legal {
+                        prop_assert!(res.is_ok(), "{res:?}");
+                        model.edges.insert((u, v));
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::DeleteEdge(i, j) => {
+                    let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
+                    let res = g.delete_edge(u, v);
+                    if model.edges.contains(&(u, v)) {
+                        prop_assert!(res.is_ok());
+                        model.edges.remove(&(u, v));
+                    } else {
+                        prop_assert_eq!(res, Err(GraphError::MissingEdge(u, v)));
+                    }
+                }
+                Op::SetValue(i, value) => {
+                    let n = handles[i % handles.len()];
+                    if model.nodes.contains_key(&n) {
+                        g.set_value(n, value.clone());
+                        model.nodes.get_mut(&n).unwrap().1 = value.clone();
+                    }
+                }
+            }
+            // Invariants after every step.
+            g.check_consistency().map_err(|e| {
+                TestCaseError::fail(format!("consistency: {e}"))
+            })?;
+            prop_assert_eq!(g.node_count(), model.nodes.len());
+            prop_assert_eq!(g.edge_count(), model.edges.len());
+        }
+
+        // Final deep comparison.
+        for (&n, (label, value)) in &model.nodes {
+            prop_assert!(g.is_alive(n));
+            prop_assert_eq!(g.label_name(n), label.as_str());
+            prop_assert_eq!(g.value(n), value.as_deref());
+        }
+        let graph_edges: HashSet<(NodeId, NodeId)> =
+            g.edges().map(|(u, v, _)| (u, v)).collect();
+        prop_assert_eq!(graph_edges, model.edges);
+    }
+
+    /// Adjacency symmetry: succ and pred views always mirror each other.
+    #[test]
+    fn adjacency_views_mirror(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let labels = ["w", "x", "y", "z"];
+        let mut g = Graph::new();
+        let mut handles: Vec<NodeId> = vec![g.root()];
+        for op in &ops {
+            match op {
+                Op::AddNode(l) => handles.push(g.add_node(labels[*l as usize], None)),
+                Op::InsertEdge(i, j, _) => {
+                    let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
+                    let _ = g.insert_edge(u, v, EdgeKind::Child);
+                }
+                Op::DeleteEdge(i, j) => {
+                    let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
+                    let _ = g.delete_edge(u, v);
+                }
+                _ => {}
+            }
+        }
+        for u in g.nodes() {
+            for v in g.succ(u) {
+                prop_assert!(g.pred(v).any(|p| p == u));
+                prop_assert!(g.has_edge(u, v));
+            }
+            for p in g.pred(u) {
+                prop_assert!(g.succ(p).any(|c| c == u));
+            }
+            prop_assert_eq!(g.out_degree(u), g.succ(u).count());
+            prop_assert_eq!(g.in_degree(u), g.pred(u).count());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Selectivity estimation from structural indexes.
+//!
+//! The paper's introduction notes that "some structural indexes have also
+//! been used as statistical synopses for estimating selectivities of path
+//! expressions" (Aboulnaga et al.; Polyzotis & Garofalakis). Because each
+//! inode records its extent size, a path expression can be *counted*
+//! without touching the data graph: evaluate on the index graph and sum
+//! the matched extents.
+//!
+//! * On the 1-index the count is **exact** (the index is precise for path
+//!   expressions).
+//! * On an A(k)-index the count is an **upper bound**, tight when
+//!   `expr.max_length() ≤ k` — the same precision horizon as query
+//!   evaluation.
+
+use crate::expr::PathExpr;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::Graph;
+
+/// A selectivity estimate for a path expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CardinalityEstimate {
+    /// Number of result dnodes the index predicts.
+    pub count: usize,
+    /// Whether the prediction is exact (1-index always; A(k) within k).
+    pub exact: bool,
+}
+
+/// Exact result cardinality of `expr` from the 1-index alone — no data
+/// graph traversal beyond label lookups.
+pub fn estimate_one_index(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> CardinalityEstimate {
+    let count = crate::eval::eval_one_index(g, idx, expr).len();
+    CardinalityEstimate { count, exact: true }
+}
+
+/// Result-cardinality upper bound from an A(k)-index; exact when the
+/// expression's length is within the index's precision horizon.
+pub fn estimate_ak_index(g: &Graph, idx: &AkIndex, expr: &PathExpr) -> CardinalityEstimate {
+    let count = crate::eval::eval_ak_index(g, idx, expr).len();
+    let exact = expr.max_length().is_some_and(|l| l <= idx.k());
+    CardinalityEstimate { count, exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_graph;
+    use xsi_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[
+                (1, "site"),
+                (2, "a"),
+                (3, "b"),
+                (4, "x"),
+                (5, "x"),
+                (6, "leaf"),
+                (7, "leaf"),
+            ])
+            .edges(&[(1, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)])
+            .root_to(1)
+            .build_with_ids();
+        g
+    }
+
+    #[test]
+    fn one_index_estimate_is_exact() {
+        let g = graph();
+        let idx = OneIndex::build(&g);
+        for q in ["/site/a/x/leaf", "//leaf", "//x", "/site/*"] {
+            let expr = PathExpr::parse(q).unwrap();
+            let est = estimate_one_index(&g, &idx, &expr);
+            assert!(est.exact);
+            assert_eq!(est.count, eval_graph(&g, &expr).len(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn ak_estimate_bounds_from_above() {
+        let g = graph();
+        for k in 0..=3 {
+            let idx = AkIndex::build(&g, k);
+            for q in ["/site/a/x/leaf", "//leaf", "/site/a"] {
+                let expr = PathExpr::parse(q).unwrap();
+                let est = estimate_ak_index(&g, &idx, &expr);
+                let exact = eval_graph(&g, &expr).len();
+                assert!(est.count >= exact, "k={k} {q}");
+                if est.exact {
+                    assert_eq!(est.count, exact, "k={k} {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a1_overestimates_deep_path() {
+        let g = graph();
+        let idx = AkIndex::build(&g, 1);
+        let expr = PathExpr::parse("/site/a/x/leaf").unwrap();
+        let est = estimate_ak_index(&g, &idx, &expr);
+        assert!(!est.exact);
+        assert_eq!(est.count, 2, "A(1) conflates both leaves");
+        assert_eq!(eval_graph(&g, &expr).len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! Path evaluation engines: direct on the data graph, and index-assisted
+//! over 1-index / A(k)-index iedges.
+//!
+//! Predicates (`/a[b]/c`) are evaluated inline during direct evaluation.
+//! Index traversals ignore them (an inode cannot decide a per-node
+//! subtree condition — bisimilarity looks at *incoming* paths only), so:
+//!
+//! * [`eval_one_index`] runs a validation pass when the expression has
+//!   predicates, keeping its exactness contract;
+//! * [`eval_ak_index`] stays a raw superset; use
+//!   [`crate::eval_ak_validated`] for exact answers.
+
+use crate::expr::{Axis, PathExpr, RelativePath, Step, Test};
+use std::collections::HashSet;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::{Graph, NodeId};
+
+pub(crate) fn node_matches(g: &Graph, n: NodeId, test: &Test) -> bool {
+    match test {
+        Test::Any => true,
+        Test::Label(name) => g.label_name(n) == name.as_str(),
+    }
+}
+
+/// Existence check for a predicate: does `rel` match anything starting
+/// from `context`? Relative paths cannot carry nested predicates (the
+/// parser rejects them), so this is a plain frontier walk.
+pub(crate) fn predicate_holds(g: &Graph, context: NodeId, rel: &RelativePath) -> bool {
+    let mut frontier: HashSet<NodeId> = HashSet::new();
+    frontier.insert(context);
+    for step in &rel.steps {
+        frontier = advance_graph(g, &frontier, step, None);
+        if frontier.is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+/// One step of frontier movement on the data graph, optionally restricted
+/// to a `relevant` node set (used by validation).
+pub(crate) fn advance_graph(
+    g: &Graph,
+    frontier: &HashSet<NodeId>,
+    step: &Step,
+    relevant: Option<&HashSet<NodeId>>,
+) -> HashSet<NodeId> {
+    let allowed = |v: NodeId| relevant.is_none_or(|r| r.contains(&v));
+    let mut next: HashSet<NodeId> = HashSet::new();
+    match step.axis {
+        Axis::Child => {
+            for &u in frontier {
+                for v in g.succ(u) {
+                    if allowed(v) && node_matches(g, v, &step.test) {
+                        next.insert(v);
+                    }
+                }
+            }
+        }
+        Axis::Descendant => {
+            let mut seen: HashSet<NodeId> = HashSet::new();
+            let mut stack: Vec<NodeId> = frontier.iter().copied().collect();
+            while let Some(u) = stack.pop() {
+                for v in g.succ(u) {
+                    if allowed(v) && seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            for v in seen {
+                if node_matches(g, v, &step.test) {
+                    next.insert(v);
+                }
+            }
+        }
+    }
+    if let Some(pred) = &step.predicate {
+        // Predicates look *down* from the node, so they are always
+        // checked against the full graph, never the restricted set.
+        next.retain(|&v| predicate_holds(g, v, pred));
+    }
+    next
+}
+
+/// Evaluates `expr` directly on the data graph, starting at the root.
+/// Returns the matching nodes sorted by id — the ground truth the index
+/// evaluations are compared against.
+pub fn eval_graph(g: &Graph, expr: &PathExpr) -> Vec<NodeId> {
+    let mut frontier: HashSet<NodeId> = HashSet::new();
+    frontier.insert(g.root());
+    for step in expr.steps() {
+        frontier = advance_graph(g, &frontier, step, None);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let mut out: Vec<NodeId> = frontier.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Generic frontier walk over an index graph. `succ` enumerates iedge
+/// successors, `label_ok` applies the node test to a block.
+fn eval_blocks<B, S, L>(start: B, steps: &[Step], mut succ: S, mut label_ok: L) -> HashSet<B>
+where
+    B: Copy + Eq + std::hash::Hash,
+    S: FnMut(B) -> Vec<B>,
+    L: FnMut(B, &Test) -> bool,
+{
+    let mut frontier: HashSet<B> = HashSet::new();
+    frontier.insert(start);
+    for step in steps {
+        let mut next: HashSet<B> = HashSet::new();
+        match step.axis {
+            Axis::Child => {
+                for &b in &frontier {
+                    for c in succ(b) {
+                        if label_ok(c, &step.test) {
+                            next.insert(c);
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                let mut seen: HashSet<B> = HashSet::new();
+                let mut stack: Vec<B> = frontier.iter().copied().collect();
+                while let Some(b) = stack.pop() {
+                    for c in succ(b) {
+                        if seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                for c in seen {
+                    if label_ok(c, &step.test) {
+                        next.insert(c);
+                    }
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Evaluates `expr` over the 1-index down to the **inode level**: the
+/// matched blocks, whose extents union to the answer. For linear
+/// (predicate-free) paths this is exact and avoids materializing the
+/// result nodes at all — the form a query processor actually consumes.
+/// With predicates the block set is a safe over-approximation.
+pub fn eval_one_index_blocks(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> Vec<xsi_core::BlockId> {
+    let matched = eval_blocks(
+        idx.block_of(g.root()),
+        expr.steps(),
+        |b| idx.isucc(b).collect(),
+        |b, test| match test {
+            Test::Any => true,
+            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
+        },
+    );
+    let mut out: Vec<xsi_core::BlockId> = matched.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Evaluates `expr` over the 1-index: runs the path on the index graph
+/// and unions the extents of matching inodes. *Exact* for every
+/// expression this crate parses: linear paths are answered precisely by
+/// the bisimulation quotient, and predicated paths trigger an automatic
+/// validation pass.
+pub fn eval_one_index(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> Vec<NodeId> {
+    let matched = eval_blocks(
+        idx.block_of(g.root()),
+        expr.steps(),
+        |b| idx.isucc(b).collect(),
+        |b, test| match test {
+            Test::Any => true,
+            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
+        },
+    );
+    let mut out: Vec<NodeId> = matched
+        .into_iter()
+        .flat_map(|b| idx.extent(b).iter().copied())
+        .collect();
+    out.sort_unstable();
+    if expr.has_predicates() {
+        return crate::validate::validate(g, expr, &out);
+    }
+    out
+}
+
+/// Evaluates `expr` over the A(k)-index's intra-level iedges. The result
+/// is always *safe* (a superset of the true answer); it is precise only
+/// when `expr.max_length() <= k` and the expression has no predicates —
+/// run [`crate::eval_ak_validated`] otherwise.
+pub fn eval_ak_index(g: &Graph, idx: &AkIndex, expr: &PathExpr) -> Vec<NodeId> {
+    let matched = eval_blocks(
+        idx.block_of(g.root()),
+        expr.steps(),
+        |b| idx.isucc(b).collect(),
+        |b, test| match test {
+            Test::Any => true,
+            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
+        },
+    );
+    let mut out: Vec<NodeId> = matched
+        .into_iter()
+        .flat_map(|b| idx.extent(b).iter().copied())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::GraphBuilder;
+
+    fn sample() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+        GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "people"), (3, "person"), (4, "person")])
+            .nodes(&[(5, "name"), (6, "name"), (7, "auctions"), (8, "auction")])
+            .nodes(&[(9, "seller")])
+            .edges(&[
+                (1, 2),
+                (2, 3),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (1, 7),
+                (7, 8),
+                (8, 9),
+            ])
+            .idref_edges(&[(9, 3)])
+            .root_to(1)
+            .build_with_ids()
+    }
+
+    #[test]
+    fn child_path() {
+        let (g, ids) = sample();
+        let expr = PathExpr::parse("/site/people/person").unwrap();
+        let res = eval_graph(&g, &expr);
+        assert_eq!(res, vec![ids[&3], ids[&4]]);
+    }
+
+    #[test]
+    fn descendant_path() {
+        let (g, ids) = sample();
+        let res = eval_graph(&g, &PathExpr::parse("//name").unwrap());
+        assert_eq!(res, vec![ids[&5], ids[&6]]);
+    }
+
+    #[test]
+    fn wildcard() {
+        let (g, _) = sample();
+        let res = eval_graph(&g, &PathExpr::parse("/site/*").unwrap());
+        assert_eq!(res.len(), 2); // people, auctions
+    }
+
+    #[test]
+    fn idref_traversal_counts() {
+        // /site/auctions/auction/seller/person goes through the IDREF.
+        let (g, ids) = sample();
+        let res = eval_graph(
+            &g,
+            &PathExpr::parse("/site/auctions/auction/seller/person").unwrap(),
+        );
+        assert_eq!(res, vec![ids[&3]]);
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing() {
+        let (g, _) = sample();
+        assert!(eval_graph(&g, &PathExpr::parse("//nonexistent").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn predicates_filter_direct_eval() {
+        // person 3 is referenced by a seller; both persons have names.
+        let (g, ids) = sample();
+        // person[name] keeps both; person[name/nothing] keeps none.
+        let both = eval_graph(&g, &PathExpr::parse("/site/people/person[name]").unwrap());
+        assert_eq!(both, vec![ids[&3], ids[&4]]);
+        let none = eval_graph(
+            &g,
+            &PathExpr::parse("/site/people/person[name/deeper]").unwrap(),
+        );
+        assert!(none.is_empty());
+        // Predicate on an intermediate step restricts downstream results.
+        let via = eval_graph(
+            &g,
+            &PathExpr::parse("/site/auctions/auction[seller]/seller").unwrap(),
+        );
+        assert_eq!(via, vec![ids[&9]]);
+    }
+
+    #[test]
+    fn descendant_predicate() {
+        let (g, ids) = sample();
+        // //auctions[//person] — auctions reaches person 3 via the IDREF.
+        let res = eval_graph(&g, &PathExpr::parse("//auctions[//person]").unwrap());
+        assert_eq!(res, vec![ids[&7]]);
+    }
+
+    #[test]
+    fn one_index_is_precise() {
+        let (g, _) = sample();
+        let idx = OneIndex::build(&g);
+        for q in [
+            "/site/people/person",
+            "//person",
+            "//person/name",
+            "/site/*",
+            "//auction//person",
+            "/site/auctions/auction/seller/person/name",
+            "/site/people/person[name]",
+            "//auction[seller/person]",
+        ] {
+            let expr = PathExpr::parse(q).unwrap();
+            assert_eq!(
+                eval_one_index(&g, &idx, &expr),
+                eval_graph(&g, &expr),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn ak_index_is_safe_and_precise_within_k() {
+        let (g, _) = sample();
+        for k in 0..=4 {
+            let idx = AkIndex::build(&g, k);
+            for q in ["/site", "/site/people", "/site/people/person", "//name"] {
+                let expr = PathExpr::parse(q).unwrap();
+                let exact = eval_graph(&g, &expr);
+                let approx = eval_ak_index(&g, &idx, &expr);
+                // Safety: superset.
+                for n in &exact {
+                    assert!(approx.contains(n), "k={k} query {q} missing {n:?}");
+                }
+                // Precision within k.
+                if expr.max_length().is_some_and(|l| l <= k) {
+                    assert_eq!(approx, exact, "k={k} query {q} not precise");
+                }
+            }
+        }
+    }
+
+    /// A graph where the 1-index genuinely conflates nodes with different
+    /// subtrees: predicated queries would be wrong without validation.
+    #[test]
+    fn one_index_predicates_need_validation() {
+        // Two persons with identical incoming structure; only one has a
+        // phone. Bisimilar ⇒ same inode ⇒ raw index eval can't tell them
+        // apart; the automatic validation in eval_one_index must.
+        let (g, ids) = GraphBuilder::new()
+            .nodes(&[(1, "people"), (2, "person"), (3, "person"), (4, "phone")])
+            .edges(&[(1, 2), (1, 3), (2, 4)])
+            .root_to(1)
+            .build_with_ids();
+        let idx = OneIndex::build(&g);
+        assert_eq!(
+            idx.block_of(ids[&2]),
+            idx.block_of(ids[&3]),
+            "persons must share an inode for this test to bite"
+        );
+        let expr = PathExpr::parse("/people/person[phone]").unwrap();
+        assert_eq!(eval_one_index(&g, &idx, &expr), vec![ids[&2]]);
+        assert_eq!(eval_graph(&g, &expr), vec![ids[&2]]);
+    }
+}
+
+#[cfg(test)]
+mod block_level_tests {
+    use super::*;
+    use crate::expr::PathExpr;
+    use xsi_graph::GraphBuilder;
+
+    #[test]
+    fn blocks_union_to_node_answer() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[
+                (1, "site"),
+                (2, "person"),
+                (3, "person"),
+                (4, "name"),
+                (5, "name"),
+            ])
+            .edges(&[(1, 2), (1, 3), (2, 4), (3, 5)])
+            .root_to(1)
+            .build_with_ids();
+        let idx = OneIndex::build(&g);
+        for q in ["/site/person", "//name", "/site/*"] {
+            let expr = PathExpr::parse(q).unwrap();
+            let blocks = eval_one_index_blocks(&g, &idx, &expr);
+            let mut from_blocks: Vec<NodeId> = blocks
+                .iter()
+                .flat_map(|&b| idx.extent(b).iter().copied())
+                .collect();
+            from_blocks.sort_unstable();
+            assert_eq!(from_blocks, eval_graph(&g, &expr), "query {q}");
+        }
+    }
+
+    #[test]
+    fn block_answer_is_compact() {
+        // Both persons share one inode: the block answer has 1 entry even
+        // though the node answer has 2.
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "person"), (3, "person")])
+            .edges(&[(1, 2), (1, 3)])
+            .root_to(1)
+            .build_with_ids();
+        let idx = OneIndex::build(&g);
+        let expr = PathExpr::parse("/site/person").unwrap();
+        assert_eq!(eval_one_index_blocks(&g, &idx, &expr).len(), 1);
+        assert_eq!(eval_one_index(&g, &idx, &expr).len(), 2);
+    }
+}
+
+/// Evaluates `expr` over the A(i)-index embedded at `level` of a deeper
+/// A(k) chain, using the intra-level iedges derived from the refinement
+/// tree (the paper's §6 "optional" structure). Precise for paths of
+/// length ≤ `level`, safe otherwise — a coarser, cheaper index view for
+/// short queries without building a separate A(level) index.
+pub fn eval_ak_index_at_level(
+    g: &Graph,
+    idx: &AkIndex,
+    level: usize,
+    expr: &PathExpr,
+) -> Vec<NodeId> {
+    use std::collections::HashMap;
+    use xsi_core::akindex::ABlockId;
+    assert!(level <= idx.k(), "level out of range");
+    // Materialize the level's intra-iedge adjacency once.
+    let mut succ: HashMap<ABlockId, Vec<ABlockId>> = HashMap::new();
+    for (a, b) in idx.intra_iedges_at(level) {
+        succ.entry(a).or_default().push(b);
+    }
+    let matched = eval_blocks(
+        idx.block_of_at(g.root(), level),
+        expr.steps(),
+        |b| succ.get(&b).cloned().unwrap_or_default(),
+        |b, test| match test {
+            Test::Any => true,
+            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
+        },
+    );
+    let mut out: Vec<NodeId> = matched
+        .into_iter()
+        .flat_map(|b| idx.extent_at(b))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod level_eval_tests {
+    use super::*;
+    use crate::expr::PathExpr;
+    use xsi_graph::GraphBuilder;
+
+    #[test]
+    fn level_eval_matches_direct_ak_build() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "a"), (3, "b"), (4, "x"), (5, "x")])
+            .nodes(&[(6, "leaf"), (7, "leaf")])
+            .edges(&[(1, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)])
+            .root_to(1)
+            .build_with_ids();
+        let deep = AkIndex::build(&g, 4);
+        for level in 0..=4 {
+            let shallow = AkIndex::build(&g, level);
+            for q in ["/site/a/x/leaf", "//leaf", "/site/*", "/site/a"] {
+                let expr = PathExpr::parse(q).unwrap();
+                assert_eq!(
+                    eval_ak_index_at_level(&g, &deep, level, &expr),
+                    eval_ak_index(&g, &shallow, &expr),
+                    "level {level} query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_eval_safe_and_precise_within_level() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "a"), (3, "b"), (4, "x"), (5, "x")])
+            .nodes(&[(6, "leaf"), (7, "leaf")])
+            .edges(&[(1, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)])
+            .root_to(1)
+            .build_with_ids();
+        let deep = AkIndex::build(&g, 4);
+        let expr = PathExpr::parse("/site/a").unwrap();
+        // Length-2 path: precise at level ≥ 2, still safe at level 1.
+        let exact = eval_graph(&g, &expr);
+        assert_eq!(eval_ak_index_at_level(&g, &deep, 2, &expr), exact);
+        let coarse = eval_ak_index_at_level(&g, &deep, 1, &expr);
+        for n in &exact {
+            assert!(coarse.contains(n));
+        }
+    }
+}

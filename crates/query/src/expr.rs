@@ -1,0 +1,271 @@
+//! Path-expression syntax: parsing `/a//b/*` into steps.
+
+use std::fmt;
+
+/// Step axis: `/` selects children, `//` selects descendants (at depth
+/// ≥ 1 below the context node, matching XPath's `//label` = descendants
+/// with that label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children (`/step`).
+    Child,
+    /// Any descendant (`//step`).
+    Descendant,
+}
+
+/// Node test: a label name or the wildcard `*`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Test {
+    /// Matches nodes with exactly this label.
+    Label(String),
+    /// Matches any node.
+    Any,
+}
+
+/// One step of a path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// How to move from the current node set.
+    pub axis: Axis,
+    /// Which nodes to keep.
+    pub test: Test,
+    /// Optional existence predicate: the node qualifies only if the
+    /// relative path inside `[…]` matches something below it. Example:
+    /// `/site/person[address/city]/name`.
+    pub predicate: Option<RelativePath>,
+}
+
+/// A relative path (predicate body): steps applied from a context node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelativePath {
+    /// Steps; the first step's axis is `Child` for `[a…]` and
+    /// `Descendant` for `[//a…]`.
+    pub steps: Vec<Step>,
+}
+
+/// A parsed absolute path expression. Evaluation starts at the graph
+/// root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathExpr {
+    steps: Vec<Step>,
+}
+
+/// Errors from [`PathExpr::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl PathExpr {
+    /// Parses an absolute path: one or more steps, each `/label`,
+    /// `//label`, `/*` or `//*`, optionally followed by an existence
+    /// predicate `[relative/path]` (no nesting). Labels may contain any
+    /// characters except `/`, `[`, `]` (XML names never do).
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let input = input.trim();
+        if !input.starts_with('/') {
+            return Err(ParseError("path must start with '/'".into()));
+        }
+        let steps = parse_steps(input, true)?;
+        if steps.is_empty() {
+            return Err(ParseError("empty path".into()));
+        }
+        Ok(PathExpr { steps })
+    }
+
+    /// Whether any step carries an existence predicate. Predicated paths
+    /// are beyond the linear fragment structural indexes answer precisely,
+    /// so index evaluation must validate (even on the 1-index).
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| s.predicate.is_some())
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The number of edges a shortest match traverses — `None` when a
+    /// descendant axis makes the length unbounded. An A(k)-index answers
+    /// precisely iff `max_length() <= Some(k)` (Section 3: the A(k)-index
+    /// "only preserves paths of length up to k").
+    pub fn max_length(&self) -> Option<usize> {
+        if self.steps.iter().any(|s| s.axis == Axis::Descendant) {
+            None
+        } else {
+            Some(self.steps.len())
+        }
+    }
+}
+
+/// Shared step parser; `absolute` demands a leading `/`, relative paths
+/// start with a bare name (implicit child axis) or `//`.
+fn parse_steps(input: &str, absolute: bool) -> Result<Vec<Step>, ParseError> {
+    let mut steps = Vec::new();
+    let mut rest = input;
+    let mut first = true;
+    while !rest.is_empty() {
+        let axis = if let Some(r) = rest.strip_prefix("//") {
+            rest = r;
+            Axis::Descendant
+        } else if let Some(r) = rest.strip_prefix('/') {
+            if first && !absolute {
+                // `[/b]` would be an absolute predicate — not supported.
+                return Err(ParseError("predicate paths are relative".into()));
+            }
+            rest = r;
+            Axis::Child
+        } else if first && !absolute {
+            Axis::Child
+        } else {
+            return Err(ParseError(format!("expected '/' before {rest:?}")));
+        };
+        first = false;
+        let end = rest.find(['/', '[']).unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            return Err(ParseError("empty step".into()));
+        }
+        let test = if name == "*" {
+            Test::Any
+        } else {
+            Test::Label(name.to_string())
+        };
+        rest = &rest[end..];
+        let predicate = if let Some(r) = rest.strip_prefix('[') {
+            let close = r
+                .find(']')
+                .ok_or_else(|| ParseError("unterminated predicate".into()))?;
+            if r[..close].contains('[') {
+                return Err(ParseError("nested predicates are not supported".into()));
+            }
+            let inner = parse_steps(&r[..close], false)?;
+            if inner.is_empty() {
+                return Err(ParseError("empty predicate".into()));
+            }
+            rest = &r[close + 1..];
+            Some(RelativePath { steps: inner })
+        } else {
+            None
+        };
+        steps.push(Step {
+            axis,
+            test,
+            predicate,
+        });
+    }
+    Ok(steps)
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_steps(f, &self.steps, true)
+    }
+}
+
+fn write_steps(f: &mut fmt::Formatter<'_>, steps: &[Step], absolute: bool) -> fmt::Result {
+    for (i, step) in steps.iter().enumerate() {
+        match step.axis {
+            Axis::Child => {
+                if absolute || i > 0 {
+                    write!(f, "/")?;
+                }
+            }
+            Axis::Descendant => write!(f, "//")?,
+        }
+        match &step.test {
+            Test::Label(l) => write!(f, "{l}")?,
+            Test::Any => write!(f, "*")?,
+        }
+        if let Some(pred) = &step.predicate {
+            write!(f, "[")?;
+            write_steps(f, &pred.steps, false)?;
+            write!(f, "]")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_child_steps() {
+        let p = PathExpr::parse("/site/people/person").unwrap();
+        assert_eq!(p.steps().len(), 3);
+        assert!(p.steps().iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(p.max_length(), Some(3));
+        assert_eq!(p.to_string(), "/site/people/person");
+    }
+
+    #[test]
+    fn parses_descendant_and_wildcard() {
+        let p = PathExpr::parse("//item/*").unwrap();
+        assert_eq!(
+            p.steps(),
+            &[
+                Step {
+                    axis: Axis::Descendant,
+                    test: Test::Label("item".into()),
+                    predicate: None,
+                },
+                Step {
+                    axis: Axis::Child,
+                    test: Test::Any,
+                    predicate: None,
+                }
+            ]
+        );
+        assert_eq!(p.max_length(), None);
+        assert_eq!(p.to_string(), "//item/*");
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in [
+            "", "site", "/", "/a//", "/a[", "/a[]", "/a[b", "/a[b[c]]", "/a[/b]",
+        ] {
+            assert!(PathExpr::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [
+            "/a",
+            "//a",
+            "/a//b/c",
+            "//*/x",
+            "/site/person[address/city]/name",
+            "//item[//mail]",
+            "/a[b]/c[d//e]",
+        ] {
+            assert_eq!(PathExpr::parse(p).unwrap().to_string(), p);
+        }
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let p = PathExpr::parse("/site/person[address/city]/name").unwrap();
+        assert!(p.has_predicates());
+        let pred = p.steps()[1].predicate.as_ref().unwrap();
+        assert_eq!(pred.steps.len(), 2);
+        assert_eq!(pred.steps[0].axis, Axis::Child);
+        assert_eq!(pred.steps[0].test, Test::Label("address".into()));
+        assert!(!PathExpr::parse("/a/b").unwrap().has_predicates());
+    }
+
+    #[test]
+    fn descendant_predicate_axis() {
+        let p = PathExpr::parse("//item[//mail]").unwrap();
+        let pred = p.steps()[0].predicate.as_ref().unwrap();
+        assert_eq!(pred.steps[0].axis, Axis::Descendant);
+    }
+}

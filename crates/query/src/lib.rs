@@ -1,0 +1,51 @@
+//! # xsi-query — path-expression evaluation over graphs and indexes
+//!
+//! Structural indexes exist to answer path expressions without touching
+//! the whole data graph (Section 3 of the paper). This crate provides:
+//!
+//! * [`PathExpr`] — an XPath-like absolute path: `/site/person/name`,
+//!   `//auction/seller`, `/site//item/*`, with child (`/`) and descendant
+//!   (`//`) axes and label or wildcard node tests;
+//! * [`eval_graph`] — direct evaluation over the data graph (the oracle);
+//! * [`eval_one_index`] — evaluation over a 1-index's iedges: safe always,
+//!   and *precise* because bisimilar nodes have the same incoming label
+//!   paths;
+//! * [`eval_ak_index`] / [`eval_ak_validated`] — evaluation over an
+//!   A(k)-index: safe always, precise only for paths of length ≤ k; longer
+//!   paths go through the paper's *validation* step, which checks each
+//!   candidate against the data graph by matching the path backwards.
+//!
+//! ```
+//! use xsi_graph::{Graph, EdgeKind};
+//! use xsi_core::{OneIndex, AkIndex};
+//! use xsi_query::{PathExpr, eval_graph, eval_one_index, eval_ak_validated};
+//!
+//! let mut g = Graph::new();
+//! let site = g.add_node("site", None);
+//! let person = g.add_node("person", None);
+//! let name = g.add_node("name", Some("Ann".into()));
+//! g.insert_edge(g.root(), site, EdgeKind::Child)?;
+//! g.insert_edge(site, person, EdgeKind::Child)?;
+//! g.insert_edge(person, name, EdgeKind::Child)?;
+//!
+//! let expr = PathExpr::parse("/site/person/name").unwrap();
+//! let one = OneIndex::build(&g);
+//! let ak = AkIndex::build(&g, 2);
+//! let direct = eval_graph(&g, &expr);
+//! assert_eq!(eval_one_index(&g, &one, &expr), direct);   // precise
+//! assert_eq!(eval_ak_validated(&g, &ak, &expr), direct); // validated
+//! assert_eq!(direct, vec![name]);
+//! # Ok::<(), xsi_graph::GraphError>(())
+//! ```
+
+mod estimate;
+mod eval;
+mod expr;
+mod validate;
+
+pub use estimate::{estimate_ak_index, estimate_one_index, CardinalityEstimate};
+pub use eval::{
+    eval_ak_index, eval_ak_index_at_level, eval_graph, eval_one_index, eval_one_index_blocks,
+};
+pub use expr::{Axis, ParseError, PathExpr, Step, Test};
+pub use validate::{eval_ak_validated, validate};

@@ -1,0 +1,125 @@
+//! Property tests for query evaluation: on arbitrary random graphs and
+//! random path expressions,
+//!
+//! * the 1-index answers **exactly** like direct evaluation (precision of
+//!   the bisimulation quotient for path queries);
+//! * the raw A(k)-index answer is a **superset** (safety), exact when the
+//!   path length is ≤ k;
+//! * the validated A(k) answer is always exact.
+
+use proptest::prelude::*;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_query::{eval_ak_index, eval_ak_validated, eval_graph, eval_one_index, PathExpr};
+
+#[derive(Debug, Clone)]
+struct Case {
+    labels: Vec<u8>,
+    edges: Vec<(usize, usize)>,
+    /// Steps: (descendant axis?, label index or 4 for `*`,
+    /// optional 1-step predicate label).
+    steps: Vec<(bool, u8, Option<u8>)>,
+    k: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..9, 0usize..4).prop_flat_map(|(n, k)| {
+        (
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec((0..n, 0..n), 0..16),
+            proptest::collection::vec((any::<bool>(), 0u8..5, proptest::option::of(0u8..4)), 1..5),
+        )
+            .prop_map(move |(labels, edges, steps)| Case {
+                labels,
+                edges,
+                steps,
+                k,
+            })
+    })
+}
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn build(case: &Case) -> (Graph, PathExpr) {
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = case
+        .labels
+        .iter()
+        .map(|&l| g.add_node(LABELS[l as usize], None))
+        .collect();
+    let root = g.root();
+    for &n in &nodes {
+        g.insert_edge(root, n, EdgeKind::Child).unwrap();
+    }
+    for &(u, v) in &case.edges {
+        if u != v {
+            let _ = g.insert_edge(nodes[u], nodes[v], EdgeKind::Child);
+        }
+    }
+    let mut text = String::new();
+    for &(desc, l, pred) in &case.steps {
+        text.push_str(if desc { "//" } else { "/" });
+        text.push_str(if l == 4 { "*" } else { LABELS[l as usize] });
+        if let Some(p) = pred {
+            text.push('[');
+            text.push_str(LABELS[p as usize]);
+            text.push(']');
+        }
+    }
+    (g, PathExpr::parse(&text).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn one_index_precise(case in case_strategy()) {
+        let (g, expr) = build(&case);
+        let idx = OneIndex::build(&g);
+        prop_assert_eq!(eval_one_index(&g, &idx, &expr), eval_graph(&g, &expr));
+    }
+
+    #[test]
+    fn ak_index_safe_and_validated_exact(case in case_strategy()) {
+        let (g, expr) = build(&case);
+        let idx = AkIndex::build(&g, case.k);
+        let exact = eval_graph(&g, &expr);
+        let raw = eval_ak_index(&g, &idx, &expr);
+        for n in &exact {
+            prop_assert!(raw.contains(n), "A(k) answer lost {n:?}");
+        }
+        if expr.max_length().is_some_and(|l| l <= case.k) && !expr.has_predicates() {
+            prop_assert_eq!(&raw, &exact, "A(k) must be precise within k");
+        }
+        prop_assert_eq!(eval_ak_validated(&g, &idx, &expr), exact);
+    }
+
+    /// Queries remain correct through incremental maintenance.
+    #[test]
+    fn queries_exact_after_updates(case in case_strategy(),
+                                   toggles in proptest::collection::vec(0usize..64, 1..8)) {
+        let (mut g, expr) = build(&case);
+        let mut one = OneIndex::build(&g);
+        let mut ak = AkIndex::build(&g, case.k);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let n = nodes.len();
+        for &t in &toggles {
+            let (u, v) = (nodes[t % n], nodes[(t / n) % n]);
+            if u == v || v == g.root() {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                g.delete_edge(u, v).unwrap();
+                one.notify_edge_deleted(&g, u, v);
+                ak.notify_edge_deleted(&g, u, v);
+            } else {
+                g.insert_edge(u, v, EdgeKind::IdRef).unwrap();
+                one.notify_edge_inserted(&g, u, v);
+                ak.notify_edge_inserted(&g, u, v);
+            }
+            let exact = eval_graph(&g, &expr);
+            prop_assert_eq!(eval_one_index(&g, &one, &expr), exact.clone());
+            prop_assert_eq!(eval_ak_validated(&g, &ak, &expr), exact);
+        }
+    }
+}

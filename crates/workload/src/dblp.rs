@@ -1,0 +1,172 @@
+//! Synthetic DBLP-style bibliography generator — the paper's own example
+//! of a naturally **acyclic** database (Section 5.1: "in a bibliography
+//! database, if we want to model the reference relations with IDREF
+//! edges, it is an acyclic graph as a paper can only reference papers
+//! that appear earlier in time").
+//!
+//! On acyclic graphs Theorem 1 upgrades the split/merge guarantee from
+//! *minimal* to *minimum*, so this dataset exercises the strongest claim
+//! at scale: after any update sequence the maintained 1-index must be
+//! partition-identical to a fresh construction.
+//!
+//! Structure: `bib` → `paper*`, each with `title`, `year`, optional
+//! `venue`/`pages`, an `authors` element with `author` leaves, and a
+//! `cites` element whose `cite` children reference strictly earlier
+//! papers (IDREF). Citation targets follow a recency-skewed distribution,
+//! giving realistic in-degree variety.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+/// Generation parameters. `scale = 1.0` yields roughly 190 k dnodes.
+#[derive(Clone, Copy, Debug)]
+pub struct DblpParams {
+    /// Linear size multiplier.
+    pub scale: f64,
+    /// Mean number of citations per paper (each to an earlier paper).
+    pub citations_per_paper: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpParams {
+    fn default() -> Self {
+        DblpParams {
+            scale: 0.1,
+            citations_per_paper: 2.5,
+            seed: 42,
+        }
+    }
+}
+
+impl DblpParams {
+    /// Convenience constructor used by the experiment binaries.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        DblpParams {
+            scale,
+            seed,
+            ..DblpParams::default()
+        }
+    }
+}
+
+const BASE_PAPERS: usize = 24000;
+
+/// Generates an acyclic bibliography data graph.
+pub fn generate_dblp(params: &DblpParams) -> Graph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = Graph::new();
+    let root = g.root();
+    let bib = child(&mut g, root, "bib");
+    let n_papers = ((BASE_PAPERS as f64 * params.scale).round() as usize).max(2);
+
+    let mut papers: Vec<NodeId> = Vec::with_capacity(n_papers);
+    for i in 0..n_papers {
+        let paper = child(&mut g, bib, "paper");
+        leaf(&mut g, paper, "title", Some(format!("paper{i}")));
+        leaf(
+            &mut g,
+            paper,
+            "year",
+            Some(format!("{}", 1960 + (i * 60 / n_papers.max(1)))),
+        );
+        if rng.random_bool(0.7) {
+            leaf(&mut g, paper, "venue", None);
+        }
+        if rng.random_bool(0.4) {
+            leaf(&mut g, paper, "pages", None);
+        }
+        let authors = child(&mut g, paper, "authors");
+        for _ in 0..rng.random_range(1..=4) {
+            leaf(&mut g, authors, "author", None);
+        }
+        if i > 0 {
+            // Citations to strictly earlier papers, recency-skewed:
+            // sample an offset with quadratic bias toward recent work.
+            let n_cites = {
+                let lambda = params.citations_per_paper;
+                let mut n = lambda.floor() as usize;
+                if rng.random_bool(lambda.fract().clamp(0.0, 1.0)) {
+                    n += 1;
+                }
+                n.min(i)
+            };
+            if n_cites > 0 {
+                let cites = child(&mut g, paper, "cites");
+                for _ in 0..n_cites {
+                    let r: f64 = rng.random_range(0.0..1.0);
+                    let offset = ((r * r) * i as f64).floor() as usize + 1;
+                    let target = papers[i - offset.min(i)];
+                    let cite = child(&mut g, cites, "cite");
+                    let _ = g.insert_edge(cite, target, EdgeKind::IdRef);
+                }
+            }
+        }
+        papers.push(paper);
+    }
+    debug_assert_eq!(g.check_consistency(), Ok(()));
+    g
+}
+
+fn child(g: &mut Graph, parent: NodeId, label: &str) -> NodeId {
+    let n = g.add_node(label, None);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh child edge");
+    n
+}
+
+fn leaf(g: &mut Graph, parent: NodeId, label: &str, value: Option<String>) -> NodeId {
+    let n = g.add_node(label, value);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh leaf edge");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::is_acyclic;
+
+    #[test]
+    fn always_acyclic() {
+        for seed in [1, 2, 3] {
+            let g = generate_dblp(&DblpParams::new(0.02, seed));
+            assert!(is_acyclic(&g), "citations point backwards in time");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_dblp(&DblpParams::new(0.01, 7));
+        let b = generate_dblp(&DblpParams::new(0.01, 7));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn has_idref_citations() {
+        let g = generate_dblp(&DblpParams::new(0.02, 4));
+        let idrefs = g.edge_count_of_kind(EdgeKind::IdRef);
+        assert!(idrefs > 100, "expected plenty of citations, got {idrefs}");
+    }
+
+    #[test]
+    fn all_reachable() {
+        let g = generate_dblp(&DblpParams::new(0.01, 5));
+        assert_eq!(xsi_graph::reachable_from_root(&g).len(), g.node_count());
+    }
+
+    #[test]
+    fn citation_edges_point_backwards() {
+        // Structural acyclicity is asserted above; also verify the
+        // generator's intent directly: cite targets are earlier papers.
+        let g = generate_dblp(&DblpParams::new(0.01, 6));
+        for (u, v, k) in g.edges() {
+            if k == EdgeKind::IdRef {
+                assert_eq!(g.label_name(u), "cite");
+                assert_eq!(g.label_name(v), "paper");
+                assert!(v < u, "cite {u:?} must reference an earlier paper {v:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic IMDB-style movie database generator.
+//!
+//! Section 7.1 of the paper attributes IMDB's behaviour under maintenance
+//! to its reference structure: *"in IMDB they tend to be clustered:
+//! related persons are likely to get involved in related movies, creating
+//! shorter cycles that make cases similar to Figure 4 more likely than in
+//! XMark."* The generator reproduces exactly that: movies and persons are
+//! assigned to communities, and IDREF edges (movie→person cast references
+//! and person→movie filmography references) stay within the community
+//! with high probability, planting many short, similar cycles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+/// Generation parameters. `scale = 1.0` approximates the paper's crawl
+/// (~273 k dnodes, ~285 k dedges, ~12.7 k IDREF edges).
+#[derive(Clone, Copy, Debug)]
+pub struct ImdbParams {
+    /// Linear size multiplier.
+    pub scale: f64,
+    /// Probability that a reference stays inside its community (the
+    /// clustering the paper describes). 1.0 = fully clustered.
+    pub clustering: f64,
+    /// Number of communities at scale 1.0 (scaled with `scale`, min 2).
+    pub base_communities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbParams {
+    fn default() -> Self {
+        ImdbParams {
+            scale: 0.1,
+            clustering: 0.9,
+            base_communities: 120,
+            seed: 42,
+        }
+    }
+}
+
+impl ImdbParams {
+    /// Convenience constructor used by the experiment binaries.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        ImdbParams {
+            scale,
+            seed,
+            ..ImdbParams::default()
+        }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(2)
+    }
+}
+
+const BASE_MOVIES: usize = 22800;
+const BASE_PERSONS: usize = 28000;
+const GENRES: [&str; 8] = [
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "romance",
+    "scifi",
+    "horror",
+    "documentary",
+];
+
+/// Generates an IMDB-style data graph with community-clustered references.
+pub fn generate_imdb(params: &ImdbParams) -> Graph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = Graph::new();
+    let root = g.root();
+    let db = child(&mut g, root, "imdb");
+
+    let n_comm = params.count(params.base_communities).max(2);
+    let n_movies = params.count(BASE_MOVIES);
+    let n_persons = params.count(BASE_PERSONS);
+
+    // --- movies -----------------------------------------------------------
+    let movies_el = child(&mut g, db, "movies");
+    let mut movies: Vec<NodeId> = Vec::with_capacity(n_movies);
+    let mut movie_comm: Vec<usize> = Vec::with_capacity(n_movies);
+    // Per-movie node that holds cast references.
+    let mut casts: Vec<NodeId> = Vec::with_capacity(n_movies);
+    for i in 0..n_movies {
+        let comm = rng.random_range(0..n_comm);
+        let movie = child(&mut g, movies_el, "movie");
+        leaf(&mut g, movie, "title", Some(format!("movie{i}")));
+        leaf(&mut g, movie, "year", Some(format!("{}", 1920 + (i % 100))));
+        leaf(
+            &mut g,
+            movie,
+            "genre",
+            Some(GENRES[comm % GENRES.len()].into()),
+        );
+        if rng.random_bool(0.5) {
+            leaf(&mut g, movie, "runtime", None);
+        }
+        if rng.random_bool(0.3) {
+            let rel = child(&mut g, movie, "releases");
+            for _ in 0..rng.random_range(1..=2) {
+                leaf(&mut g, rel, "release", None);
+            }
+        }
+        let cast = child(&mut g, movie, "cast");
+        movies.push(movie);
+        movie_comm.push(comm);
+        casts.push(cast);
+    }
+
+    // --- people -----------------------------------------------------------
+    let people_el = child(&mut g, db, "people");
+    let mut persons: Vec<NodeId> = Vec::with_capacity(n_persons);
+    let mut person_comm: Vec<usize> = Vec::with_capacity(n_persons);
+    let mut filmographies: Vec<NodeId> = Vec::with_capacity(n_persons);
+    for i in 0..n_persons {
+        let comm = rng.random_range(0..n_comm);
+        let person = child(&mut g, people_el, "person");
+        leaf(&mut g, person, "name", Some(format!("person{i}")));
+        if rng.random_bool(0.6) {
+            leaf(&mut g, person, "birthyear", None);
+        }
+        if rng.random_bool(0.3) {
+            leaf(&mut g, person, "biography", None);
+        }
+        let filmography = child(&mut g, person, "filmography");
+        persons.push(person);
+        person_comm.push(comm);
+        filmographies.push(filmography);
+    }
+
+    // Bucket persons and movies by community for clustered picks.
+    let mut persons_by_comm: Vec<Vec<usize>> = vec![Vec::new(); n_comm];
+    for (i, &c) in person_comm.iter().enumerate() {
+        persons_by_comm[c].push(i);
+    }
+    let mut movies_by_comm: Vec<Vec<usize>> = vec![Vec::new(); n_comm];
+    for (i, &c) in movie_comm.iter().enumerate() {
+        movies_by_comm[c].push(i);
+    }
+
+    // --- clustered IDREFs ---------------------------------------------------
+    // Movie → person: actor/director references from the cast element.
+    // Sized so the IDREF share approximates the paper's (~4.4 % of edges).
+    let clustered = params.clustering.clamp(0.0, 1.0);
+    let mut cast_refs: Vec<(usize, usize)> = Vec::new();
+    for (mi, &cast) in casts.iter().enumerate() {
+        if !rng.random_bool(0.10) {
+            continue;
+        }
+        let n_refs = rng.random_range(1..=2);
+        for _ in 0..n_refs {
+            let pi = pick_clustered(
+                &mut rng,
+                clustered,
+                movie_comm[mi],
+                &persons_by_comm,
+                n_persons,
+            );
+            let actor = child(&mut g, cast, "actor");
+            let _ = g.insert_edge(actor, persons[pi], EdgeKind::IdRef);
+            cast_refs.push((mi, pi));
+        }
+    }
+    // Person → movie: filmography references. A modest fraction
+    // reciprocates a cast reference ("related persons get involved in
+    // related movies"), planting the short movie→person→movie cycles the
+    // paper describes — kept rare enough that Figure 4 configurations
+    // (minimal-but-not-minimum) occur without dominating, matching the
+    // paper's observed ≤3 % split/merge drift. The rest point at random
+    // clustered movies, giving longer, less symmetric cycles.
+    for &(mi, pi) in &cast_refs {
+        if rng.random_bool(0.02) {
+            let acted = child(&mut g, filmographies[pi], "acted_in");
+            let _ = g.insert_edge(acted, movies[mi], EdgeKind::IdRef);
+        }
+    }
+    for (pi, &filmography) in filmographies.iter().enumerate() {
+        if !rng.random_bool(0.02) {
+            continue;
+        }
+        let mi = pick_clustered(
+            &mut rng,
+            clustered,
+            person_comm[pi],
+            &movies_by_comm,
+            n_movies,
+        );
+        let acted = child(&mut g, filmography, "acted_in");
+        let _ = g.insert_edge(acted, movies[mi], EdgeKind::IdRef);
+    }
+    // Sequel references: movies link back to earlier movies in their
+    // community, forming chains of varying length. Real crawls are full
+    // of this kind of heterogeneous in-link structure; it is what makes
+    // the dataset "highly irregular" (each chain position is its own
+    // bisimulation class), keeping the minimum 1-index large like the
+    // paper's IMDB.
+    for mi in 1..n_movies {
+        let n_links = if rng.random_bool(0.8) {
+            rng.random_range(1..=2)
+        } else {
+            0
+        };
+        let comm = movie_comm[mi];
+        for _ in 0..n_links {
+            // Pick an earlier movie, preferring the same community.
+            let prev = (0..8)
+                .map(|_| pick_clustered(&mut rng, clustered, comm, &movies_by_comm, n_movies))
+                .find(|&x| x < mi);
+            if let Some(prev) = prev {
+                let seq = child(&mut g, movies[mi], "sequel_of");
+                let _ = g.insert_edge(seq, movies[prev], EdgeKind::IdRef);
+            }
+        }
+    }
+
+    debug_assert_eq!(g.check_consistency(), Ok(()));
+    g
+}
+
+/// Picks an index from `comm`'s bucket with probability `clustered`
+/// (falling back to uniform when the bucket is empty), else uniform.
+fn pick_clustered(
+    rng: &mut StdRng,
+    clustered: f64,
+    comm: usize,
+    buckets: &[Vec<usize>],
+    total: usize,
+) -> usize {
+    if rng.random_bool(clustered) && !buckets[comm].is_empty() {
+        buckets[comm][rng.random_range(0..buckets[comm].len())]
+    } else {
+        rng.random_range(0..total)
+    }
+}
+
+fn child(g: &mut Graph, parent: NodeId, label: &str) -> NodeId {
+    let n = g.add_node(label, None);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh child edge");
+    n
+}
+
+fn leaf(g: &mut Graph, parent: NodeId, label: &str, value: Option<String>) -> NodeId {
+    let n = g.add_node(label, value);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh leaf edge");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::is_acyclic;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ImdbParams::new(0.01, 5);
+        let g1 = generate_imdb(&p);
+        let g2 = generate_imdb(&p);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn contains_cycles_via_communities() {
+        let g = generate_imdb(&ImdbParams::new(0.05, 5));
+        assert!(!is_acyclic(&g), "clustered cross-references close cycles");
+    }
+
+    #[test]
+    fn idref_share_plausible() {
+        let g = generate_imdb(&ImdbParams::new(0.05, 5));
+        let share = g.edge_count_of_kind(EdgeKind::IdRef) as f64 / g.edge_count() as f64;
+        // Paper: 12,654 of 285,221 ≈ 4.4 %.
+        assert!(share > 0.02 && share < 0.10, "IDREF share {share}");
+    }
+
+    #[test]
+    fn all_nodes_reachable() {
+        let g = generate_imdb(&ImdbParams::new(0.01, 5));
+        assert_eq!(xsi_graph::reachable_from_root(&g).len(), g.node_count());
+    }
+
+    #[test]
+    fn clustering_zero_spreads_references() {
+        // With clustering 0 the graph still generates fine and remains
+        // well-formed; this exercises the uniform fallback path.
+        let p = ImdbParams {
+            clustering: 0.0,
+            ..ImdbParams::new(0.02, 6)
+        };
+        let g = generate_imdb(&p);
+        g.check_consistency().unwrap();
+    }
+}

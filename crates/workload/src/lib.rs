@@ -1,0 +1,30 @@
+//! # xsi-workload — datasets and update workloads for the experiments
+//!
+//! The paper evaluates on two datasets (Section 7):
+//!
+//! * **XMark** — the XML Benchmark Project auction database: highly cyclic
+//!   and irregular, 167,865 dnodes / 198,612 dedges (30,747 IDREF). Cycles
+//!   come from person→auction `watch` references meeting auction→person
+//!   `seller`/`bidder` references; the paper varies *cyclicity* — the
+//!   fraction of person→auction edges retained — to get XMark(c) for
+//!   c ∈ {1, 0.5, 0.2, 0}.
+//! * **IMDB** — a movie/person crawl: 272,567 dnodes / 285,221 dedges
+//!   (12,654 IDREF), with *clustered* references ("related persons are
+//!   likely to get involved in related movies, creating shorter cycles").
+//!
+//! Neither original artifact ships with this repository, so [`xmark`] and
+//! [`imdb`] generate synthetic graphs with the same schema shape, IDREF
+//! structure and tunable scale/cyclicity (see DESIGN.md §3 for the
+//! substitution rationale). [`updates`] implements the paper's update
+//! protocols: the 20 % IDREF edge pool with alternating insert/delete
+//! pairs, and the auction-subtree extraction used for Figure 12.
+
+pub mod dblp;
+pub mod imdb;
+pub mod updates;
+pub mod xmark;
+
+pub use dblp::{generate_dblp, DblpParams};
+pub use imdb::{generate_imdb, ImdbParams};
+pub use updates::{collect_subtree_roots, EdgePool};
+pub use xmark::{generate_xmark, XmarkParams};

@@ -1,0 +1,350 @@
+//! Synthetic XMark-style auction database generator.
+//!
+//! Reproduces the schema shape of the XML Benchmark Project documents the
+//! paper uses: a `site` with regional `item`s, `person`s, open and closed
+//! `auction`s, `category`s and a category graph. IDREF edges follow the
+//! benchmark: items reference categories, auctions reference items and
+//! persons (seller, bidder, buyer), the category graph references
+//! categories, and persons *watch* open auctions. The person→auction
+//! `watch` edges are the ones that close cycles (auction→person→auction),
+//! so the paper's **cyclicity** knob — the fraction of those edges
+//! retained — is a first-class parameter here.
+//!
+//! All randomness flows from the seed: equal parameters ⇒ equal graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+/// Generation parameters. `scale = 1.0` approximates the paper's dataset
+/// size (~168 k dnodes, ~200 k dedges, ~31 k IDREF edges); the experiment
+/// binaries default to a smaller scale so the suite runs in minutes.
+#[derive(Clone, Copy, Debug)]
+pub struct XmarkParams {
+    /// Linear size multiplier.
+    pub scale: f64,
+    /// Fraction of person→auction `watch` IDREF edges retained — the
+    /// paper's cyclicity c of XMark(c). 0.0 yields an acyclic graph.
+    pub cyclicity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkParams {
+    fn default() -> Self {
+        XmarkParams {
+            scale: 0.1,
+            cyclicity: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl XmarkParams {
+    /// Convenience constructor used by the experiment binaries.
+    pub fn new(scale: f64, cyclicity: f64, seed: u64) -> Self {
+        XmarkParams {
+            scale,
+            cyclicity,
+            seed,
+        }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Base cardinalities at `scale = 1.0`, calibrated so the generated graph
+/// approximates the paper's XMark node/edge/IDREF counts.
+const BASE_ITEMS: usize = 4700;
+const BASE_PERSONS: usize = 5500;
+const BASE_OPEN_AUCTIONS: usize = 2600;
+const BASE_CLOSED_AUCTIONS: usize = 2100;
+const BASE_CATEGORIES: usize = 200;
+
+/// Generates an XMark-style data graph.
+pub fn generate_xmark(params: &XmarkParams) -> Graph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = Graph::new();
+    let root = g.root();
+    let site = child(&mut g, root, "site");
+
+    // --- categories -----------------------------------------------------
+    let categories_el = child(&mut g, site, "categories");
+    let n_categories = params.count(BASE_CATEGORIES);
+    let mut categories = Vec::with_capacity(n_categories);
+    for i in 0..n_categories {
+        let c = child(&mut g, categories_el, "category");
+        leaf(&mut g, c, "name", Some(format!("category{i}")));
+        let d = child(&mut g, c, "description");
+        leaf(&mut g, d, "text", None);
+        categories.push(c);
+    }
+
+    // --- catgraph: random category-to-category references ---------------
+    let catgraph = child(&mut g, site, "catgraph");
+    for _ in 0..n_categories * 2 {
+        let e = child(&mut g, catgraph, "edge");
+        let from = categories[rng.random_range(0..n_categories)];
+        let to = categories[rng.random_range(0..n_categories)];
+        let _ = g.insert_edge(e, from, EdgeKind::IdRef);
+        if to != from {
+            let _ = g.insert_edge(e, to, EdgeKind::IdRef);
+        }
+    }
+
+    // --- regions and items -----------------------------------------------
+    let regions = child(&mut g, site, "regions");
+    let region_nodes: Vec<NodeId> = REGIONS.iter().map(|r| child(&mut g, regions, r)).collect();
+    let n_items = params.count(BASE_ITEMS);
+    let mut items = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        let region = region_nodes[rng.random_range(0..region_nodes.len())];
+        let item = child(&mut g, region, "item");
+        leaf(&mut g, item, "location", Some("United States".into()));
+        leaf(&mut g, item, "quantity", Some("1".into()));
+        leaf(&mut g, item, "name", Some(format!("item{i}")));
+        leaf(&mut g, item, "payment", Some("Cash".into()));
+        let desc = child(&mut g, item, "description");
+        if rng.random_bool(0.7) {
+            leaf(&mut g, desc, "text", None);
+        } else {
+            let parlist = child(&mut g, desc, "parlist");
+            for _ in 0..rng.random_range(1..=3) {
+                leaf(&mut g, parlist, "listitem", None);
+            }
+        }
+        if rng.random_bool(0.4) {
+            let mailbox = child(&mut g, item, "mailbox");
+            for _ in 0..rng.random_range(1..=2) {
+                let mail = child(&mut g, mailbox, "mail");
+                leaf(&mut g, mail, "from", None);
+                leaf(&mut g, mail, "to", None);
+                leaf(&mut g, mail, "date", None);
+            }
+        }
+        // incategory IDREFs.
+        for _ in 0..rng.random_range(1..=2) {
+            let inc = child(&mut g, item, "incategory");
+            let cat = categories[rng.random_range(0..n_categories)];
+            let _ = g.insert_edge(inc, cat, EdgeKind::IdRef);
+        }
+        items.push(item);
+    }
+
+    // --- people ----------------------------------------------------------
+    let people = child(&mut g, site, "people");
+    let n_persons = params.count(BASE_PERSONS);
+    let mut persons = Vec::with_capacity(n_persons);
+    let mut watch_nodes: Vec<NodeId> = Vec::new();
+    for i in 0..n_persons {
+        let person = child(&mut g, people, "person");
+        leaf(&mut g, person, "name", Some(format!("person{i}")));
+        leaf(&mut g, person, "emailaddress", None);
+        if rng.random_bool(0.6) {
+            leaf(&mut g, person, "phone", None);
+        }
+        if rng.random_bool(0.5) {
+            let addr = child(&mut g, person, "address");
+            leaf(&mut g, addr, "street", None);
+            leaf(&mut g, addr, "city", None);
+            leaf(&mut g, addr, "country", None);
+            leaf(&mut g, addr, "zipcode", None);
+        }
+        if rng.random_bool(0.3) {
+            leaf(&mut g, person, "creditcard", None);
+        }
+        if rng.random_bool(0.5) {
+            let profile = child(&mut g, person, "profile");
+            leaf(&mut g, profile, "education", None);
+            for _ in 0..rng.random_range(0..=2) {
+                let interest = child(&mut g, profile, "interest");
+                let cat = categories[rng.random_range(0..n_categories)];
+                let _ = g.insert_edge(interest, cat, EdgeKind::IdRef);
+            }
+        }
+        if rng.random_bool(0.6) {
+            let watches = child(&mut g, person, "watches");
+            for _ in 0..rng.random_range(1..=3) {
+                watch_nodes.push(child(&mut g, watches, "watch"));
+            }
+        }
+        persons.push(person);
+    }
+
+    // --- open auctions -----------------------------------------------------
+    let open_auctions = child(&mut g, site, "open_auctions");
+    let n_open = params.count(BASE_OPEN_AUCTIONS);
+    let mut auctions = Vec::with_capacity(n_open);
+    for _ in 0..n_open {
+        let oa = child(&mut g, open_auctions, "open_auction");
+        leaf(
+            &mut g,
+            oa,
+            "initial",
+            Some(format!("{:.2}", rng.random_range(1.0..200.0))),
+        );
+        if rng.random_bool(0.4) {
+            leaf(&mut g, oa, "reserve", None);
+        }
+        for _ in 0..rng.random_range(0..=4) {
+            let bidder = child(&mut g, oa, "bidder");
+            leaf(&mut g, bidder, "date", None);
+            leaf(&mut g, bidder, "increase", None);
+            let pref = child(&mut g, bidder, "personref");
+            let p = persons[rng.random_range(0..n_persons)];
+            let _ = g.insert_edge(pref, p, EdgeKind::IdRef);
+        }
+        leaf(&mut g, oa, "current", None);
+        let itemref = child(&mut g, oa, "itemref");
+        let _ = g.insert_edge(
+            itemref,
+            items[rng.random_range(0..n_items)],
+            EdgeKind::IdRef,
+        );
+        let seller = child(&mut g, oa, "seller");
+        let _ = g.insert_edge(
+            seller,
+            persons[rng.random_range(0..n_persons)],
+            EdgeKind::IdRef,
+        );
+        let annotation = child(&mut g, oa, "annotation");
+        leaf(&mut g, annotation, "description", None);
+        leaf(&mut g, oa, "quantity", Some("1".into()));
+        auctions.push(oa);
+    }
+
+    // --- closed auctions ---------------------------------------------------
+    let closed_auctions = child(&mut g, site, "closed_auctions");
+    for _ in 0..params.count(BASE_CLOSED_AUCTIONS) {
+        let ca = child(&mut g, closed_auctions, "closed_auction");
+        let seller = child(&mut g, ca, "seller");
+        let _ = g.insert_edge(
+            seller,
+            persons[rng.random_range(0..n_persons)],
+            EdgeKind::IdRef,
+        );
+        let buyer = child(&mut g, ca, "buyer");
+        let _ = g.insert_edge(
+            buyer,
+            persons[rng.random_range(0..n_persons)],
+            EdgeKind::IdRef,
+        );
+        let itemref = child(&mut g, ca, "itemref");
+        let _ = g.insert_edge(
+            itemref,
+            items[rng.random_range(0..n_items)],
+            EdgeKind::IdRef,
+        );
+        leaf(
+            &mut g,
+            ca,
+            "price",
+            Some(format!("{:.2}", rng.random_range(1.0..500.0))),
+        );
+        leaf(&mut g, ca, "date", None);
+        leaf(&mut g, ca, "quantity", Some("1".into()));
+    }
+
+    // --- the cyclicity knob: person→auction watch references ---------------
+    // Each watch node references a random open auction; only a `cyclicity`
+    // fraction of the references is materialized (XMark(0) keeps the watch
+    // elements but no references, so node counts match across c).
+    for w in watch_nodes {
+        if rng.random_bool(params.cyclicity.clamp(0.0, 1.0)) {
+            let oa = auctions[rng.random_range(0..auctions.len())];
+            let _ = g.insert_edge(w, oa, EdgeKind::IdRef);
+        }
+    }
+
+    debug_assert_eq!(g.check_consistency(), Ok(()));
+    g
+}
+
+fn child(g: &mut Graph, parent: NodeId, label: &str) -> NodeId {
+    let n = g.add_node(label, None);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh child edge");
+    n
+}
+
+fn leaf(g: &mut Graph, parent: NodeId, label: &str, value: Option<String>) -> NodeId {
+    let n = g.add_node(label, value);
+    g.insert_edge(parent, n, EdgeKind::Child)
+        .expect("fresh leaf edge");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_graph::is_acyclic;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = XmarkParams::new(0.01, 1.0, 7);
+        let g1 = generate_xmark(&p);
+        let g2 = generate_xmark(&p);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = generate_xmark(&XmarkParams::new(0.01, 1.0, 1));
+        let g2 = generate_xmark(&XmarkParams::new(0.01, 1.0, 2));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn zero_cyclicity_is_acyclic() {
+        let g = generate_xmark(&XmarkParams::new(0.02, 0.0, 3));
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn full_cyclicity_has_cycles() {
+        let g = generate_xmark(&XmarkParams::new(0.05, 1.0, 3));
+        assert!(!is_acyclic(&g), "watch + seller edges should close cycles");
+    }
+
+    #[test]
+    fn cyclicity_preserves_node_count() {
+        // The paper: "XMark(0) contains no person-auction edges ... although
+        // they have the same number of dnodes".
+        let a = generate_xmark(&XmarkParams::new(0.02, 1.0, 9));
+        let b = generate_xmark(&XmarkParams::new(0.02, 0.0, 9));
+        assert_eq!(a.node_count(), b.node_count());
+        assert!(a.edge_count() > b.edge_count());
+    }
+
+    #[test]
+    fn idref_share_plausible() {
+        let g = generate_xmark(&XmarkParams::new(0.05, 1.0, 5));
+        let idrefs = g.edge_count_of_kind(EdgeKind::IdRef);
+        let share = idrefs as f64 / g.edge_count() as f64;
+        // Paper: 30,747 of 198,612 ≈ 15.5 %.
+        assert!(share > 0.08 && share < 0.25, "IDREF share {share}");
+    }
+
+    #[test]
+    fn all_nodes_reachable() {
+        let g = generate_xmark(&XmarkParams::new(0.01, 1.0, 11));
+        assert_eq!(xsi_graph::reachable_from_root(&g).len(), g.node_count());
+    }
+}

@@ -1,0 +1,122 @@
+//! # xsi-xml — XML text ↔ data graph
+//!
+//! A small, dependency-free XML parser and serializer that materializes
+//! the paper's data model (Section 3): elements become labeled dnodes,
+//! containment becomes `Child` dedges, and `ID`/`IDREF(S)` attributes
+//! become `IdRef` dedges once the whole document is read.
+//!
+//! Supported XML subset (enough for benchmark-style documents):
+//! elements, attributes, character data (with the five predefined
+//! entities plus decimal/hex character references), CDATA sections,
+//! comments, processing instructions and a DOCTYPE prolog (both skipped).
+//! Namespaces are treated literally (prefixes stay in the label).
+//!
+//! Identity handling: an attribute named in
+//! [`ParseOptions::id_attrs`] declares the element's identifier; an
+//! attribute named in [`ParseOptions::idref_attrs`] holds one or more
+//! whitespace-separated identifiers that become `IdRef` dedges. Other
+//! attributes become child dnodes labeled `@name` carrying the value —
+//! keeping every piece of the document addressable by path queries.
+//!
+//! ```
+//! use xsi_xml::{parse_str, ParseOptions};
+//!
+//! let doc = r#"<site><person id="p0"><name>Ann</name></person>
+//!              <auction><seller ref="p0"/></auction></site>"#;
+//! let parsed = parse_str(doc, &ParseOptions::default()).unwrap();
+//! assert_eq!(parsed.graph.edge_count_of_kind(xsi_graph::EdgeKind::IdRef), 1);
+//! ```
+
+mod parser;
+mod serializer;
+
+pub use parser::{parse_str, ParseError, ParseOptions, ParsedDocument};
+pub use serializer::{serialize, SerializeError, SerializeOptions};
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use xsi_graph::{EdgeKind, Graph, NodeId};
+
+    /// Compares two graphs for ordered isomorphism: a parallel DFS from
+    /// the roots must see identical labels, values, child counts, and
+    /// IdRef structure (through the visit-order correspondence).
+    pub(crate) fn assert_ordered_isomorphic(a: &Graph, b: &Graph) {
+        assert_eq!(a.node_count(), b.node_count(), "node counts differ");
+        assert_eq!(a.edge_count(), b.edge_count(), "edge counts differ");
+        let mut map: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        let mut stack = vec![(a.root(), b.root())];
+        map.insert(a.root(), b.root());
+        while let Some((x, y)) = stack.pop() {
+            assert_eq!(a.label_name(x), b.label_name(y), "labels differ");
+            assert_eq!(a.value(x), b.value(y), "values differ at {x:?}");
+            let xs: Vec<(NodeId, EdgeKind)> = a.succ_with_kind(x).collect();
+            let ys: Vec<(NodeId, EdgeKind)> = b.succ_with_kind(y).collect();
+            let xc: Vec<NodeId> = xs
+                .iter()
+                .filter(|&&(_, k)| k == EdgeKind::Child)
+                .map(|&(n, _)| n)
+                .collect();
+            let yc: Vec<NodeId> = ys
+                .iter()
+                .filter(|&&(_, k)| k == EdgeKind::Child)
+                .map(|&(n, _)| n)
+                .collect();
+            assert_eq!(xc.len(), yc.len(), "child counts differ at {x:?}");
+            for (&cx, &cy) in xc.iter().zip(&yc) {
+                map.insert(cx, cy);
+                stack.push((cx, cy));
+            }
+        }
+        // IdRef edges must map through the correspondence.
+        for (u, v, k) in a.edges() {
+            if k == EdgeKind::IdRef {
+                let (mu, mv) = (map[&u], map[&v]);
+                assert_eq!(
+                    b.edge_kind(mu, mv),
+                    Some(EdgeKind::IdRef),
+                    "IdRef ({u:?}→{v:?}) not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_serialize_round_trip() {
+        let doc = r#"<site>
+          <people>
+            <person id="p0"><name>Ann &amp; Bo</name><age>33</age></person>
+            <person id="p1"><name>Cy</name></person>
+          </people>
+          <auctions>
+            <auction id="a0"><seller ref="p0"/><watchers refs="p0 p1"/></auction>
+          </auctions>
+        </site>"#;
+        let parsed = parse_str(doc, &ParseOptions::default()).unwrap();
+        let xml = serialize(&parsed.graph, &SerializeOptions::default()).unwrap();
+        let reparsed = parse_str(&xml, &ParseOptions::default()).unwrap();
+        assert_ordered_isomorphic(&parsed.graph, &reparsed.graph);
+    }
+
+    #[test]
+    fn generated_workload_round_trips() {
+        // Serialize a generated XMark-like tree (cyclic via IDREFs) and
+        // parse it back.
+        let g = {
+            let mut g = Graph::new();
+            let root = g.root();
+            let site = g.add_node("site", None);
+            g.insert_edge(root, site, EdgeKind::Child).unwrap();
+            let p = g.add_node("person", None);
+            let a = g.add_node("auction", Some("live".into()));
+            g.insert_edge(site, p, EdgeKind::Child).unwrap();
+            g.insert_edge(site, a, EdgeKind::Child).unwrap();
+            g.insert_edge(p, a, EdgeKind::IdRef).unwrap();
+            g.insert_edge(a, p, EdgeKind::IdRef).unwrap();
+            g
+        };
+        let xml = serialize(&g, &SerializeOptions::default()).unwrap();
+        let reparsed = parse_str(&xml, &ParseOptions::default()).unwrap();
+        assert_ordered_isomorphic(&g, &reparsed.graph);
+    }
+}

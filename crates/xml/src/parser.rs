@@ -1,0 +1,523 @@
+//! A minimal, dependency-free XML parser producing [`xsi_graph::Graph`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+/// Parsing options controlling identity resolution.
+#[derive(Clone, Debug)]
+pub struct ParseOptions {
+    /// Attribute names declaring an element's identifier.
+    pub id_attrs: Vec<String>,
+    /// Attribute names holding whitespace-separated identifier references.
+    pub idref_attrs: Vec<String>,
+    /// When `true`, an unresolvable reference is an error; when `false`
+    /// (default) it degrades to a plain `@attr` child node.
+    pub strict_refs: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            id_attrs: vec!["id".into()],
+            idref_attrs: vec!["ref".into(), "refs".into(), "idref".into(), "idrefs".into()],
+            strict_refs: false,
+        }
+    }
+}
+
+/// A parsed document: the data graph plus the identifier table.
+#[derive(Debug)]
+pub struct ParsedDocument {
+    /// The data graph; top-level elements hang off `graph.root()`.
+    pub graph: Graph,
+    /// `ID` value → element node.
+    pub ids: HashMap<String, NodeId>,
+}
+
+/// Parse errors, with the byte offset where they occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document (or forest of documents) into a data graph.
+pub fn parse_str(input: &str, options: &ParseOptions) -> Result<ParsedDocument, ParseError> {
+    Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        options,
+        graph: Graph::new(),
+        ids: HashMap::new(),
+        pending_refs: Vec::new(),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    options: &'a ParseOptions,
+    graph: Graph,
+    ids: HashMap<String, NodeId>,
+    /// `(element, attr name, raw value)` reference attributes, resolved
+    /// once the whole document is read (forward references are legal).
+    pending_refs: Vec<(NodeId, String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}"))
+        }
+    }
+
+    /// Advances past `..close`, erroring at EOF.
+    fn skip_until(&mut self, close: &str) -> Result<(), ParseError> {
+        match find(&self.bytes[self.pos..], close.as_bytes()) {
+            Some(i) => {
+                self.pos += i + close.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated section (missing {close:?})")),
+        }
+    }
+
+    fn run(mut self) -> Result<ParsedDocument, ParseError> {
+        let root = self.graph.root();
+        let mut stack: Vec<(NodeId, String)> = Vec::new();
+        loop {
+            // Text up to the next markup.
+            let text_start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            if self.pos > text_start {
+                let raw = std::str::from_utf8(&self.bytes[text_start..self.pos]).map_err(|_| {
+                    ParseError {
+                        offset: text_start,
+                        message: "invalid UTF-8".into(),
+                    }
+                })?;
+                let decoded = decode_entities(raw, text_start)?;
+                if !decoded.trim().is_empty() {
+                    match stack.last() {
+                        Some(&(element, _)) => self.append_text(element, decoded.trim()),
+                        None => return self.err("character data outside any element"),
+                    }
+                }
+            }
+            let Some(_) = self.peek() else {
+                break; // EOF
+            };
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += 9;
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos - 3]).map_err(|_| {
+                    ParseError {
+                        offset: start,
+                        message: "invalid UTF-8 in CDATA".into(),
+                    }
+                })?;
+                match stack.last() {
+                    Some(&(element, _)) => {
+                        if !raw.is_empty() {
+                            self.append_text(element, raw);
+                        }
+                    }
+                    None => return self.err("CDATA outside any element"),
+                }
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!") {
+                // DOCTYPE and friends: skip to matching '>'. Internal
+                // subsets with nested brackets are handled bracket-aware.
+                self.pos += 2;
+                let mut depth = 0usize;
+                loop {
+                    match self.peek() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => return self.err("unterminated <! section"),
+                    }
+                    self.pos += 1;
+                }
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let name = self.read_name()?;
+                self.skip_ws();
+                self.expect(">")?;
+                match stack.pop() {
+                    Some((_, open)) if open == name => {}
+                    Some((_, open)) => {
+                        return self.err(format!("mismatched close: <{open}> vs </{name}>"))
+                    }
+                    None => return self.err(format!("close tag </{name}> with nothing open")),
+                }
+            } else {
+                // Start tag.
+                self.expect("<")?;
+                let name = self.read_name()?;
+                let parent = stack.last().map(|&(n, _)| n).unwrap_or(root);
+                let element = self.graph.add_node(&name, None);
+                self.graph
+                    .insert_edge(parent, element, EdgeKind::Child)
+                    .expect("tree edge");
+                // Attributes.
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            stack.push((element, name.clone()));
+                            break;
+                        }
+                        Some(b'/') => {
+                            self.expect("/>")?;
+                            break;
+                        }
+                        Some(_) => {
+                            let attr = self.read_name()?;
+                            self.skip_ws();
+                            self.expect("=")?;
+                            self.skip_ws();
+                            let value = self.read_quoted()?;
+                            self.handle_attribute(element, attr, value)?;
+                        }
+                        None => return self.err("unterminated start tag"),
+                    }
+                }
+            }
+        }
+        if let Some((_, open)) = stack.pop() {
+            return self.err(format!("unclosed element <{open}>"));
+        }
+        self.resolve_refs()?;
+        debug_assert_eq!(self.graph.check_consistency(), Ok(()));
+        Ok(ParsedDocument {
+            graph: self.graph,
+            ids: self.ids,
+        })
+    }
+
+    fn append_text(&mut self, element: NodeId, text: &str) {
+        let value = match self.graph.value(element) {
+            Some(existing) => format!("{existing} {text}"),
+            None => text.to_string(),
+        };
+        self.graph.set_value(element, Some(value));
+    }
+
+    fn handle_attribute(
+        &mut self,
+        element: NodeId,
+        name: String,
+        value: String,
+    ) -> Result<(), ParseError> {
+        if self.options.id_attrs.contains(&name) {
+            if self.ids.insert(value.clone(), element).is_some() {
+                return self.err(format!("duplicate ID {value:?}"));
+            }
+        } else if self.options.idref_attrs.contains(&name) {
+            self.pending_refs.push((element, name, value));
+        } else {
+            let attr_node = self.graph.add_node(&format!("@{name}"), Some(value));
+            self.graph
+                .insert_edge(element, attr_node, EdgeKind::Child)
+                .expect("attribute edge");
+        }
+        Ok(())
+    }
+
+    fn resolve_refs(&mut self) -> Result<(), ParseError> {
+        for (element, name, value) in std::mem::take(&mut self.pending_refs) {
+            let mut unresolved = Vec::new();
+            for token in value.split_whitespace() {
+                match self.ids.get(token) {
+                    Some(&target) => {
+                        // Ignore duplicate references (set semantics).
+                        let _ = self.graph.insert_edge(element, target, EdgeKind::IdRef);
+                    }
+                    None if self.options.strict_refs => {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: format!("unresolved reference {token:?} in @{name}"),
+                        });
+                    }
+                    None => unresolved.push(token.to_string()),
+                }
+            }
+            if !unresolved.is_empty() {
+                let attr_node = self
+                    .graph
+                    .add_node(&format!("@{name}"), Some(unresolved.join(" ")));
+                self.graph
+                    .insert_edge(element, attr_node, EdgeKind::Child)
+                    .expect("attribute edge");
+            }
+        }
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn read_quoted(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.peek().is_some() && self.peek() != Some(quote) {
+            self.pos += 1;
+        }
+        if self.peek() != Some(quote) {
+            return self.err("unterminated attribute value");
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "invalid UTF-8 in attribute".into(),
+        })?;
+        self.pos += 1;
+        decode_entities(raw, start)
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decodes the five predefined entities and numeric character references.
+fn decode_entities(raw: &str, offset: usize) -> Result<String, ParseError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or_else(|| ParseError {
+            offset,
+            message: "unterminated entity reference".into(),
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| ParseError {
+                    offset,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| ParseError {
+                    offset,
+                    message: format!("invalid code point &{entity};"),
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| ParseError {
+                    offset,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| ParseError {
+                    offset,
+                    message: format!("invalid code point &{entity};"),
+                })?);
+            }
+            _ => {
+                return Err(ParseError {
+                    offset,
+                    message: format!("unknown entity &{entity};"),
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedDocument {
+        parse_str(s, &ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_tree() {
+        let d = parse("<a><b>hello</b><c/></a>");
+        let g = &d.graph;
+        assert_eq!(g.node_count(), 4); // ROOT, a, b, c
+        let a = g.succ(g.root()).next().unwrap();
+        assert_eq!(g.label_name(a), "a");
+        let labels: Vec<&str> = g.succ(a).map(|n| g.label_name(n)).collect();
+        assert_eq!(labels, ["b", "c"]);
+        let b = g.succ(a).next().unwrap();
+        assert_eq!(g.value(b), Some("hello"));
+    }
+
+    #[test]
+    fn attributes_become_nodes() {
+        let d = parse(r#"<item price="10" currency="USD"/>"#);
+        let g = &d.graph;
+        let item = g.succ(g.root()).next().unwrap();
+        let attrs: Vec<(&str, Option<&str>)> = g
+            .succ(item)
+            .map(|n| (g.label_name(n), g.value(n)))
+            .collect();
+        assert_eq!(attrs, [("@price", Some("10")), ("@currency", Some("USD"))]);
+    }
+
+    #[test]
+    fn id_and_refs_resolve_across_document() {
+        let d = parse(r#"<db><a ref="later"/><b id="later"/></db>"#);
+        let g = &d.graph;
+        assert_eq!(g.edge_count_of_kind(EdgeKind::IdRef), 1);
+        let (u, v, _) = g.edges().find(|&(_, _, k)| k == EdgeKind::IdRef).unwrap();
+        assert_eq!(g.label_name(u), "a");
+        assert_eq!(g.label_name(v), "b");
+        assert_eq!(d.ids.len(), 1);
+    }
+
+    #[test]
+    fn idrefs_list() {
+        let d = parse(r#"<db><w refs="x y"/><p id="x"/><q id="y"/></db>"#);
+        assert_eq!(d.graph.edge_count_of_kind(EdgeKind::IdRef), 2);
+    }
+
+    #[test]
+    fn unresolved_ref_degrades_to_attribute() {
+        let d = parse(r#"<db><a ref="missing"/></db>"#);
+        let g = &d.graph;
+        assert_eq!(g.edge_count_of_kind(EdgeKind::IdRef), 0);
+        let a = {
+            let db = g.succ(g.root()).next().unwrap();
+            g.succ(db).next().unwrap()
+        };
+        let attr = g.succ(a).next().unwrap();
+        assert_eq!(g.label_name(attr), "@ref");
+        assert_eq!(g.value(attr), Some("missing"));
+    }
+
+    #[test]
+    fn unresolved_ref_strict_errors() {
+        let opts = ParseOptions {
+            strict_refs: true,
+            ..ParseOptions::default()
+        };
+        assert!(parse_str(r#"<db><a ref="missing"/></db>"#, &opts).is_err());
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let d = parse("<t>a &amp; b &#65; &#x42;<![CDATA[<raw>]]></t>");
+        let g = &d.graph;
+        let t = g.succ(g.root()).next().unwrap();
+        assert_eq!(g.value(t), Some("a & b A B <raw>"));
+    }
+
+    #[test]
+    fn comments_pis_doctype_skipped() {
+        let d = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE site [<!ELEMENT a (b)>]><!-- hi --><a><b/></a>",
+        );
+        assert_eq!(d.graph.node_count(), 3);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_str("<a><b></a></b>", &ParseOptions::default()).is_err());
+        assert!(parse_str("<a>", &ParseOptions::default()).is_err());
+        assert!(parse_str("</a>", &ParseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_id_errors() {
+        assert!(parse_str(
+            r#"<db><a id="x"/><b id="x"/></db>"#,
+            &ParseOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multiple_top_level_elements() {
+        // A database of multiple documents under the artificial root.
+        let d = parse("<doc1><x/></doc1><doc2/>");
+        let g = &d.graph;
+        assert_eq!(g.succ(g.root()).count(), 2);
+    }
+
+    #[test]
+    fn text_outside_elements_errors() {
+        assert!(parse_str("junk<a/>", &ParseOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Serializes a (containment-tree-shaped) data graph back to XML.
+//!
+//! The inverse of [`crate::parser`]: `@name` child nodes become
+//! attributes, element values become character data, incoming `IdRef`
+//! edges mint an `id` attribute, and outgoing `IdRef` edges are written as
+//! a reference attribute listing the targets' ids.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use xsi_graph::{EdgeKind, Graph, NodeId};
+
+/// Serialization options.
+#[derive(Clone, Debug)]
+pub struct SerializeOptions {
+    /// Attribute used for minted identifiers (must be in the parser's
+    /// `id_attrs` for a round trip).
+    pub id_attr: String,
+    /// Attribute used for outgoing references (must be in the parser's
+    /// `idref_attrs`).
+    pub idref_attr: String,
+    /// Pretty-print with this many spaces per depth, or `None` for
+    /// compact output.
+    pub indent: Option<usize>,
+}
+
+impl Default for SerializeOptions {
+    fn default() -> Self {
+        SerializeOptions {
+            id_attr: "id".into(),
+            idref_attr: "refs".into(),
+            indent: Some(2),
+        }
+    }
+}
+
+/// Why serialization can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerializeError {
+    /// A node is reachable by `Child` edges from two different parents —
+    /// the graph is not a containment tree, so it has no faithful XML
+    /// rendering.
+    NotATree(NodeId),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::NotATree(n) => {
+                write!(f, "node {n} has multiple containment parents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Serializes `g` to XML text. Top-level elements are the `Child`
+/// successors of the root.
+pub fn serialize(g: &Graph, options: &SerializeOptions) -> Result<String, SerializeError> {
+    // Verify tree shape over Child edges and mint ids for IdRef targets.
+    let mut child_parent_seen = vec![false; g.capacity()];
+    for n in g.nodes() {
+        for (c, kind) in g.succ_with_kind(n) {
+            if kind == EdgeKind::Child {
+                if child_parent_seen[c.index()] {
+                    return Err(SerializeError::NotATree(c));
+                }
+                child_parent_seen[c.index()] = true;
+            }
+        }
+    }
+    // Mint identifiers for IdRef targets in document (pre-order) position
+    // so serialization is a normal form: serializing a reparsed document
+    // yields identical text.
+    let referenced: std::collections::HashSet<NodeId> = g
+        .edges()
+        .filter(|&(_, _, k)| k == EdgeKind::IdRef)
+        .map(|(_, v, _)| v)
+        .collect();
+    let mut ids: HashMap<NodeId, String> = HashMap::new();
+    let mut stack: Vec<NodeId> = g
+        .succ_with_kind(g.root())
+        .filter(|&(_, k)| k == EdgeKind::Child)
+        .map(|(n, _)| n)
+        .collect();
+    stack.reverse(); // visit first child first
+    while let Some(n) = stack.pop() {
+        if referenced.contains(&n) && !ids.contains_key(&n) {
+            let next = ids.len();
+            ids.insert(n, format!("n{next}"));
+        }
+        let children: Vec<NodeId> = g
+            .succ_with_kind(n)
+            .filter(|&(_, k)| k == EdgeKind::Child)
+            .map(|(c, _)| c)
+            .collect();
+        stack.extend(children.into_iter().rev());
+    }
+
+    let mut out = String::new();
+    for (top, kind) in g.succ_with_kind(g.root()) {
+        if kind == EdgeKind::Child {
+            write_element(g, top, options, &ids, 0, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+fn write_element(
+    g: &Graph,
+    n: NodeId,
+    options: &SerializeOptions,
+    ids: &HashMap<NodeId, String>,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = options.indent {
+            for _ in 0..depth * width {
+                out.push(' ');
+            }
+        }
+    };
+    let nl = |out: &mut String| {
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    };
+
+    pad(out, depth);
+    let _ = write!(out, "<{}", g.label_name(n));
+    if let Some(id) = ids.get(&n) {
+        let _ = write!(out, " {}=\"{}\"", options.id_attr, escape_attr(id));
+    }
+    let refs: Vec<&str> = g
+        .succ_with_kind(n)
+        .filter(|&(_, k)| k == EdgeKind::IdRef)
+        .map(|(t, _)| ids[&t].as_str())
+        .collect();
+    if !refs.is_empty() {
+        let _ = write!(out, " {}=\"{}\"", options.idref_attr, refs.join(" "));
+    }
+    let mut element_children = Vec::new();
+    for (c, kind) in g.succ_with_kind(n) {
+        if kind != EdgeKind::Child {
+            continue;
+        }
+        let label = g.label_name(c);
+        if let Some(attr) = label.strip_prefix('@') {
+            let _ = write!(
+                out,
+                " {}=\"{}\"",
+                attr,
+                escape_attr(g.value(c).unwrap_or(""))
+            );
+        } else {
+            element_children.push(c);
+        }
+    }
+
+    let text = g.value(n);
+    if element_children.is_empty() && text.is_none() {
+        out.push_str("/>");
+        nl(out);
+        return;
+    }
+    out.push('>');
+    if let Some(text) = text {
+        out.push_str(&escape_text(text));
+    }
+    if element_children.is_empty() {
+        let _ = write!(out, "</{}>", g.label_name(n));
+        nl(out);
+        return;
+    }
+    nl(out);
+    for c in element_children {
+        write_element(g, c, options, ids, depth + 1, out);
+    }
+    pad(out, depth);
+    let _ = write!(out, "</{}>", g.label_name(n));
+    nl(out);
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_str, ParseOptions};
+
+    #[test]
+    fn simple_output_shape() {
+        let d = parse_str("<a><b>hi</b><c/></a>", &ParseOptions::default()).unwrap();
+        let xml = serialize(
+            &d.graph,
+            &SerializeOptions {
+                indent: None,
+                ..SerializeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(xml, "<a><b>hi</b><c/></a>");
+    }
+
+    #[test]
+    fn attributes_and_refs_round() {
+        let d = parse_str(
+            r#"<db><p id="x" age="3"/><q ref="x"/></db>"#,
+            &ParseOptions::default(),
+        )
+        .unwrap();
+        let xml = serialize(
+            &d.graph,
+            &SerializeOptions {
+                indent: None,
+                ..SerializeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(xml.contains("age=\"3\""));
+        assert!(xml.contains("refs=\"n0\""));
+        assert!(xml.contains("id=\"n0\""));
+    }
+
+    #[test]
+    fn escaping() {
+        let d = parse_str(
+            "<t a=\"q&quot;uo\">x &lt; y &amp; z</t>",
+            &ParseOptions::default(),
+        )
+        .unwrap();
+        let xml = serialize(
+            &d.graph,
+            &SerializeOptions {
+                indent: None,
+                ..SerializeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(xml.contains("x &lt; y &amp; z"));
+        assert!(xml.contains("q&quot;uo"));
+        // Re-parse restores the original strings.
+        let d2 = parse_str(&xml, &ParseOptions::default()).unwrap();
+        let t = d2.graph.succ(d2.graph.root()).next().unwrap();
+        assert_eq!(d2.graph.value(t), Some("x < y & z"));
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        let mut g = xsi_graph::Graph::new();
+        let root = g.root();
+        let a = g.add_node("a", None);
+        let b = g.add_node("b", None);
+        let shared = g.add_node("s", None);
+        g.insert_edge(root, a, EdgeKind::Child).unwrap();
+        g.insert_edge(root, b, EdgeKind::Child).unwrap();
+        g.insert_edge(a, shared, EdgeKind::Child).unwrap();
+        g.insert_edge(b, shared, EdgeKind::Child).unwrap();
+        assert_eq!(
+            serialize(&g, &SerializeOptions::default()),
+            Err(SerializeError::NotATree(shared))
+        );
+    }
+
+    #[test]
+    fn indented_output_nests() {
+        let d = parse_str("<a><b><c/></b></a>", &ParseOptions::default()).unwrap();
+        let xml = serialize(&d.graph, &SerializeOptions::default()).unwrap();
+        assert!(xml.contains("\n    <c/>"), "{xml}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Robustness property tests: the parser must never panic — arbitrary
+//! byte soup yields either a parsed document or a structured error, and
+//! near-valid documents (random mutations of valid XML) are handled the
+//! same way.
+
+use proptest::prelude::*;
+use xsi_xml::{parse_str, ParseOptions, SerializeOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse_str(&input, &ParseOptions::default());
+    }
+
+    /// Markup-flavored soup (higher density of XML metacharacters) never
+    /// panics either.
+    #[test]
+    fn markup_soup_never_panics(input in "[<>/a-c'\"=\\[\\]&;! ?-]{0,120}") {
+        let _ = parse_str(&input, &ParseOptions::default());
+    }
+
+    /// Mutating one byte of a valid document never panics, and if it
+    /// still parses, the result is internally consistent.
+    #[test]
+    fn mutated_valid_document(pos in 0usize..100, byte in 0u8..128) {
+        let valid = r#"<db><a id="x" n="1">text</a><b ref="x"><c/></b></db>"#;
+        let mut bytes = valid.as_bytes().to_vec();
+        bytes[pos % valid.len()] = byte;
+        if let Ok(s) = String::from_utf8(bytes) {
+            if let Ok(doc) = parse_str(&s, &ParseOptions::default()) {
+                doc.graph.check_consistency().unwrap();
+                // And serialization of whatever parsed must succeed
+                // (parse always yields a containment tree).
+                xsi_xml::serialize(&doc.graph, &SerializeOptions::default()).unwrap();
+            }
+        }
+    }
+}

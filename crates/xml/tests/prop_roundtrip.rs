@@ -1,0 +1,141 @@
+//! Property test: serialize(graph) → parse → graph is an ordered
+//! isomorphism, for arbitrary containment trees with IDREF edges, values
+//! and attribute nodes — including values containing XML metacharacters.
+
+use proptest::prelude::*;
+use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_xml::{parse_str, serialize, ParseOptions, SerializeOptions};
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    /// parent[i] < i + 1 positions each node under an earlier one.
+    parents: Vec<usize>,
+    labels: Vec<u8>,
+    values: Vec<Option<String>>,
+    attrs: Vec<Option<(u8, String)>>,
+    idrefs: Vec<(usize, usize)>,
+}
+
+fn value_strategy() -> impl Strategy<Value = String> {
+    // Exercise escaping: include &, <, >, quotes; avoid leading/trailing
+    // whitespace (the parser trims text) and inner whitespace runs (text
+    // concatenation normalizes them to single spaces).
+    proptest::string::string_regex("[a-zA-Z0-9&<>'\"]{1,12}").expect("valid regex")
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    (1usize..12).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(0).boxed()
+                } else {
+                    (0..=i).prop_map(|p| p).boxed()
+                }
+            })
+            .collect();
+        (
+            parents,
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec(proptest::option::of(value_strategy()), n),
+            proptest::collection::vec(proptest::option::of((0u8..3, value_strategy())), n),
+            proptest::collection::vec((0..n, 0..n), 0..4),
+        )
+            .prop_map(|(parents, labels, values, attrs, idrefs)| TreeSpec {
+                parents,
+                labels,
+                values,
+                attrs,
+                idrefs,
+            })
+    })
+}
+
+fn build(spec: &TreeSpec) -> Graph {
+    let labels = ["alpha", "beta", "gamma", "delta"];
+    let attr_names = ["@size", "@color", "@lang"];
+    let mut g = Graph::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for i in 0..spec.parents.len() {
+        let n = g.add_node(labels[spec.labels[i] as usize], spec.values[i].clone());
+        let parent = if i == 0 {
+            g.root()
+        } else {
+            nodes[spec.parents[i].min(i - 1)]
+        };
+        g.insert_edge(parent, n, EdgeKind::Child).unwrap();
+        nodes.push(n);
+        if let Some((a, v)) = &spec.attrs[i] {
+            let attr = g.add_node(attr_names[*a as usize], Some(v.clone()));
+            g.insert_edge(n, attr, EdgeKind::Child).unwrap();
+        }
+    }
+    for &(u, v) in &spec.idrefs {
+        if u != v {
+            let _ = g.insert_edge(nodes[u], nodes[v], EdgeKind::IdRef);
+        }
+    }
+    g
+}
+
+/// Parallel-DFS ordered isomorphism check (same shape, labels, values and
+/// IdRef structure through the visit correspondence).
+fn assert_ordered_isomorphic(a: &Graph, b: &Graph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    let mut map = std::collections::HashMap::new();
+    let mut stack = vec![(a.root(), b.root())];
+    map.insert(a.root(), b.root());
+    while let Some((x, y)) = stack.pop() {
+        assert_eq!(a.label_name(x), b.label_name(y));
+        assert_eq!(a.value(x), b.value(y), "value mismatch at {x:?}");
+        let xc: Vec<NodeId> = a
+            .succ_with_kind(x)
+            .filter(|&(_, k)| k == EdgeKind::Child)
+            .map(|(n, _)| n)
+            .collect();
+        let yc: Vec<NodeId> = b
+            .succ_with_kind(y)
+            .filter(|&(_, k)| k == EdgeKind::Child)
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(xc.len(), yc.len());
+        for (&cx, &cy) in xc.iter().zip(&yc) {
+            map.insert(cx, cy);
+            stack.push((cx, cy));
+        }
+    }
+    for (u, v, k) in a.edges() {
+        if k == EdgeKind::IdRef {
+            assert_eq!(b.edge_kind(map[&u], map[&v]), Some(EdgeKind::IdRef));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_round_trip(spec in tree_strategy()) {
+        let g = build(&spec);
+        for indent in [None, Some(2)] {
+            let opts = SerializeOptions { indent, ..SerializeOptions::default() };
+            let xml = serialize(&g, &opts).unwrap();
+            let reparsed = parse_str(&xml, &ParseOptions::default())
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+            assert_ordered_isomorphic(&g, &reparsed.graph);
+        }
+    }
+
+    /// Serializing the reparsed graph again yields byte-identical XML
+    /// (serialization is a normal form).
+    #[test]
+    fn second_serialization_is_stable(spec in tree_strategy()) {
+        let g = build(&spec);
+        let opts = SerializeOptions::default();
+        let xml1 = serialize(&g, &opts).unwrap();
+        let reparsed = parse_str(&xml1, &ParseOptions::default()).unwrap();
+        let xml2 = serialize(&reparsed.graph, &opts).unwrap();
+        prop_assert_eq!(xml1, xml2);
+    }
+}

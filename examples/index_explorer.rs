@@ -1,0 +1,83 @@
+//! Index explorer: a small CLI that loads an XML file (or a generated
+//! dataset), builds the structural indexes, and prints a summary — index
+//! sizes across k, the largest inodes, and per-label block counts.
+//!
+//! Run with:
+//! `cargo run --release --example index_explorer -- path/to/file.xml`
+//! or, without a file, on a generated XMark sample:
+//! `cargo run --release --example index_explorer`
+
+use std::collections::HashMap;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::Graph;
+use xsi_workload::{generate_xmark, XmarkParams};
+use xsi_xml::{parse_str, ParseOptions};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let g: Graph = match &arg {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let parsed = parse_str(&text, &ParseOptions::default())
+                .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+            println!("loaded {path}");
+            parsed.graph
+        }
+        None => {
+            println!("no file given — using a generated XMark(1) sample at scale 0.05");
+            generate_xmark(&XmarkParams::new(0.05, 1.0, 42))
+        }
+    };
+    println!(
+        "data graph: {} dnodes, {} dedges, {} labels",
+        g.node_count(),
+        g.edge_count(),
+        g.labels().len()
+    );
+
+    let one = OneIndex::build(&g);
+    println!(
+        "\n1-index: {} inodes ({:.1}% of the data graph)",
+        one.block_count(),
+        100.0 * one.block_count() as f64 / g.node_count() as f64
+    );
+    let mut sizes: Vec<(usize, String)> = one
+        .blocks()
+        .map(|b| {
+            (
+                one.extent(b).len(),
+                g.labels().name(one.label(b)).to_string(),
+            )
+        })
+        .collect();
+    sizes.sort_by(|a, b| b.0.cmp(&a.0));
+    println!("largest inodes:");
+    for (size, label) in sizes.iter().take(8) {
+        println!("  {size:>8} dnodes  <{label}>");
+    }
+
+    println!("\nA(k)-index sizes (with refinement-tree storage overhead):");
+    for k in 0..=5 {
+        let ak = AkIndex::build(&g, k);
+        let storage = ak.storage_report();
+        println!(
+            "  A({k}): {:>8} inodes  chain total {:>8}  overhead {:>5.1}%",
+            ak.block_count(),
+            ak.total_blocks(),
+            storage.overhead_fraction() * 100.0
+        );
+    }
+
+    // Per-label breakdown of the 1-index.
+    let mut per_label: HashMap<&str, usize> = HashMap::new();
+    for b in one.blocks() {
+        *per_label.entry(g.labels().name(one.label(b))).or_insert(0) += 1;
+    }
+    let mut per_label: Vec<(&str, usize)> = per_label.into_iter().collect();
+    per_label.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\nlabels with the most 1-index inodes (structural variety):");
+    for (label, count) in per_label.iter().take(8) {
+        println!("  {count:>6} inodes  <{label}>");
+    }
+}

@@ -1,0 +1,77 @@
+//! Persistence: save both indexes to binary snapshots, "restart", load
+//! them back, and keep maintaining — the restart never pays the
+//! reconstruction cost the paper's incremental algorithms exist to avoid.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use std::time::Instant;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::EdgeKind;
+use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
+
+fn main() {
+    let mut g = generate_xmark(&XmarkParams::new(0.2, 1.0, 17));
+    let mut pool = EdgePool::extract(&mut g, 0.2, 17);
+
+    let t = Instant::now();
+    let mut one = OneIndex::build(&g);
+    let mut ak = AkIndex::build(&g, 3);
+    println!(
+        "built indexes over {} dnodes in {:?} (1-index {}, A(3) {})",
+        g.node_count(),
+        t.elapsed(),
+        one.block_count(),
+        ak.block_count()
+    );
+
+    // Simulate a working session: some live updates.
+    for _ in 0..100 {
+        let (u, v) = pool.next_insert().unwrap();
+        g.insert_edge(u, v, EdgeKind::IdRef).unwrap();
+        one.notify_edge_inserted(&g, u, v);
+        ak.notify_edge_inserted(&g, u, v);
+    }
+
+    // Shut down: snapshot both indexes.
+    let t = Instant::now();
+    let one_bytes = one.to_snapshot();
+    let ak_bytes = ak.to_snapshot();
+    println!(
+        "snapshots written in {:?} ({} + {} KB)",
+        t.elapsed(),
+        one_bytes.len() / 1024,
+        ak_bytes.len() / 1024
+    );
+
+    // "Restart": load instead of rebuilding.
+    let t = Instant::now();
+    let mut one2 = OneIndex::from_snapshot(&g, &one_bytes).expect("snapshot matches graph");
+    let mut ak2 = AkIndex::from_snapshot(&g, &ak_bytes).expect("snapshot matches graph");
+    println!("restored both indexes in {:?}", t.elapsed());
+    assert_eq!(one2.canonical(), one.canonical());
+    assert_eq!(ak2.canonical(), ak.canonical());
+
+    // Maintenance continues seamlessly on the restored indexes.
+    for _ in 0..100 {
+        let (u, v) = pool.next_delete().unwrap();
+        g.delete_edge(u, v).unwrap();
+        one2.notify_edge_deleted(&g, u, v);
+        ak2.notify_edge_deleted(&g, u, v);
+    }
+    assert_eq!(one2.block_count(), OneIndex::build(&g).block_count());
+    assert_eq!(ak2.canonical(), AkIndex::build(&g, 3).canonical());
+    println!(
+        "after 100 more updates on the restored indexes: 1-index {}, A(3) {} — still minimum",
+        one2.block_count(),
+        ak2.block_count()
+    );
+
+    // A stale snapshot (graph changed since the save) is rejected loudly.
+    let intruder = g.add_node("intruder", None);
+    let site = g.succ(g.root()).next().unwrap();
+    g.insert_edge(site, intruder, EdgeKind::Child).unwrap();
+    match OneIndex::from_snapshot(&g, &one_bytes) {
+        Err(e) => println!("stale snapshot correctly rejected: {e}"),
+        Ok(_) => unreachable!("stale snapshot must not load"),
+    }
+}

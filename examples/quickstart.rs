@@ -1,0 +1,89 @@
+//! Quickstart: build a small XML data graph, construct the 1-index and an
+//! A(2)-index, run a path query through each, then update the graph and
+//! watch the indexes follow incrementally.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xsi_core::{check, AkIndex, OneIndex};
+use xsi_graph::{EdgeKind, Graph};
+use xsi_query::{eval_ak_validated, eval_graph, eval_one_index, PathExpr};
+
+fn main() {
+    // A tiny auction site: two people, two auctions, IDREF references.
+    let mut g = Graph::new();
+    let root = g.root();
+    let site = add(&mut g, root, "site", None);
+    let people = add(&mut g, site, "people", None);
+    let ann = add(&mut g, people, "person", Some("Ann"));
+    let bob = add(&mut g, people, "person", Some("Bob"));
+    let auctions = add(&mut g, site, "auctions", None);
+    let a1 = add(&mut g, auctions, "auction", None);
+    let a2 = add(&mut g, auctions, "auction", None);
+    let s1 = add(&mut g, a1, "seller", None);
+    let s2 = add(&mut g, a2, "seller", None);
+    g.insert_edge(s1, ann, EdgeKind::IdRef).unwrap();
+    g.insert_edge(s2, bob, EdgeKind::IdRef).unwrap();
+
+    // Build both structural indexes.
+    let mut one = OneIndex::build(&g);
+    let mut ak = AkIndex::build(&g, 2);
+    println!(
+        "data graph: {} dnodes, {} dedges",
+        g.node_count(),
+        g.edge_count()
+    );
+    println!(
+        "1-index: {} inodes | A(2)-index: {} inodes (chain total {})",
+        one.block_count(),
+        ak.block_count(),
+        ak.total_blocks()
+    );
+
+    // Query through each evaluation path; all three agree.
+    let q = PathExpr::parse("/site/auctions/auction/seller/person").unwrap();
+    let direct = eval_graph(&g, &q);
+    let via_one = eval_one_index(&g, &one, &q);
+    let via_ak = eval_ak_validated(&g, &ak, &q);
+    println!("\nquery {q}:");
+    for &n in &direct {
+        println!("  {} ({:?})", g.value(n).unwrap_or("?"), n);
+    }
+    assert_eq!(direct, via_one);
+    assert_eq!(direct, via_ak);
+    println!("1-index and validated A(2) agree with direct evaluation.");
+
+    // Incremental update: Bob starts watching auction 1. Both indexes are
+    // maintained in place — no reconstruction.
+    let watch = g.add_node("watch", None);
+    one.on_node_added(&g, watch);
+    ak.on_node_added(&g, watch);
+    g.insert_edge(bob, watch, EdgeKind::Child).unwrap();
+    one.notify_edge_inserted(&g, bob, watch);
+    ak.notify_edge_inserted(&g, bob, watch);
+    g.insert_edge(watch, a1, EdgeKind::IdRef).unwrap();
+    let stats = one.notify_edge_inserted(&g, watch, a1);
+    ak.notify_edge_inserted(&g, watch, a1);
+    println!(
+        "\nafter inserting the watch edge: {} splits, {} merges; 1-index now {} inodes",
+        stats.splits,
+        stats.merges,
+        one.block_count()
+    );
+
+    // The maintained indexes are still minimal/minimum (Theorems 1 & 2).
+    assert!(check::is_minimal_1index(&g, one.partition()));
+    assert_eq!(one.block_count(), OneIndex::build(&g).block_count());
+    assert_eq!(ak.canonical(), AkIndex::build(&g, 2).canonical());
+    println!("both indexes verified minimal after the update.");
+}
+
+fn add(
+    g: &mut Graph,
+    parent: xsi_graph::NodeId,
+    label: &str,
+    value: Option<&str>,
+) -> xsi_graph::NodeId {
+    let n = g.add_node(label, value.map(String::from));
+    g.insert_edge(parent, n, EdgeKind::Child).unwrap();
+    n
+}

@@ -1,0 +1,127 @@
+//! End-to-end query correctness: on generated datasets, every query must
+//! give identical answers evaluated (a) directly on the data graph,
+//! (b) through the 1-index, and (c) through the A(k)-index with
+//! validation — including *after* incremental maintenance has reshaped
+//! the indexes.
+
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::EdgeKind;
+use xsi_query::{eval_ak_index, eval_ak_validated, eval_graph, eval_one_index, PathExpr};
+use xsi_workload::{generate_imdb, generate_xmark, EdgePool, ImdbParams, XmarkParams};
+
+const XMARK_QUERIES: &[&str] = &[
+    "/site/people/person",
+    "/site/people/person/name",
+    "/site/regions/*/item",
+    "/site/open_auctions/open_auction/bidder/personref/person",
+    "/site/closed_auctions/closed_auction/itemref/item",
+    "//watch/open_auction",
+    "//incategory/category/name",
+    "//person/watches/watch",
+    "/site/catgraph/edge/category",
+    "//parlist/listitem",
+];
+
+const IMDB_QUERIES: &[&str] = &[
+    "/imdb/movies/movie/title",
+    "/imdb/movies/movie/cast/actor/person",
+    "/imdb/people/person/filmography/acted_in/movie",
+    "//actor/person/name",
+    "//movie/genre",
+];
+
+#[test]
+fn xmark_queries_agree_across_engines() {
+    let g = generate_xmark(&XmarkParams::new(0.02, 1.0, 21));
+    let one = OneIndex::build(&g);
+    for &k in &[2usize, 4] {
+        let ak = AkIndex::build(&g, k);
+        for q in XMARK_QUERIES {
+            let expr = PathExpr::parse(q).unwrap();
+            let exact = eval_graph(&g, &expr);
+            assert_eq!(eval_one_index(&g, &one, &expr), exact, "1-index on {q}");
+            // Raw A(k) answers are supersets; validated answers are exact.
+            let raw = eval_ak_index(&g, &ak, &expr);
+            for n in &exact {
+                assert!(raw.contains(n), "A({k}) lost a result on {q}");
+            }
+            assert_eq!(eval_ak_validated(&g, &ak, &expr), exact, "A({k}) on {q}");
+        }
+    }
+}
+
+#[test]
+fn imdb_queries_agree_across_engines() {
+    let g = generate_imdb(&ImdbParams::new(0.01, 22));
+    let one = OneIndex::build(&g);
+    let ak = AkIndex::build(&g, 3);
+    for q in IMDB_QUERIES {
+        let expr = PathExpr::parse(q).unwrap();
+        let exact = eval_graph(&g, &expr);
+        assert_eq!(eval_one_index(&g, &one, &expr), exact, "1-index on {q}");
+        assert_eq!(eval_ak_validated(&g, &ak, &expr), exact, "A(3) on {q}");
+    }
+}
+
+#[test]
+fn queries_stay_correct_under_maintenance() {
+    let mut g = generate_xmark(&XmarkParams::new(0.01, 1.0, 23));
+    let mut pool = EdgePool::extract(&mut g, 0.2, 23);
+    let mut one = OneIndex::build(&g);
+    let mut ak = AkIndex::build(&g, 3);
+    let exprs: Vec<PathExpr> = XMARK_QUERIES
+        .iter()
+        .map(|q| PathExpr::parse(q).unwrap())
+        .collect();
+    for round in 0..40 {
+        let (u, v) = pool.next_insert().unwrap();
+        g.insert_edge(u, v, EdgeKind::IdRef).unwrap();
+        one.notify_edge_inserted(&g, u, v);
+        ak.notify_edge_inserted(&g, u, v);
+        let (u, v) = pool.next_delete().unwrap();
+        g.delete_edge(u, v).unwrap();
+        one.notify_edge_deleted(&g, u, v);
+        ak.notify_edge_deleted(&g, u, v);
+        if round % 10 == 9 {
+            for expr in &exprs {
+                let exact = eval_graph(&g, expr);
+                assert_eq!(eval_one_index(&g, &one, expr), exact, "1-index {expr}");
+                assert_eq!(eval_ak_validated(&g, &ak, expr), exact, "A(3) {expr}");
+            }
+        }
+    }
+}
+
+/// The precision boundary: raw A(k) answers are exact for paths of length
+/// ≤ k and (on a graph crafted to confuse them) strictly larger beyond.
+#[test]
+fn ak_precision_boundary() {
+    // Two x-chains distinguished only at depth 3.
+    let mut g = xsi_graph::Graph::new();
+    let root = g.root();
+    let mk = |g: &mut xsi_graph::Graph, parent, label: &str| {
+        let n = g.add_node(label, None);
+        g.insert_edge(parent, n, EdgeKind::Child).unwrap();
+        n
+    };
+    let a = mk(&mut g, root, "a");
+    let b = mk(&mut g, root, "b");
+    let xa = mk(&mut g, a, "x");
+    let xb = mk(&mut g, b, "x");
+    let ya = mk(&mut g, xa, "y");
+    let yb = mk(&mut g, xb, "y");
+    let _za = mk(&mut g, ya, "z");
+    let _zb = mk(&mut g, yb, "z");
+
+    let expr = PathExpr::parse("/a/x/y/z").unwrap();
+    let exact = eval_graph(&g, &expr);
+    assert_eq!(exact.len(), 1);
+    // k = 1: the two y/z chains are conflated; raw answer has both z's.
+    let ak1 = AkIndex::build(&g, 1);
+    let raw = eval_ak_index(&g, &ak1, &expr);
+    assert_eq!(raw.len(), 2, "A(1) must conflate the two z nodes");
+    assert_eq!(eval_ak_validated(&g, &ak1, &expr), exact);
+    // k = 4 ≥ path length: raw answer is already exact.
+    let ak4 = AkIndex::build(&g, 4);
+    assert_eq!(eval_ak_index(&g, &ak4, &expr), exact);
+}
