@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks for Table 2: per-update cost of A(k)
-//! maintenance across k, split/merge versus the simple baseline. Each
-//! iteration inserts and deletes one pooled IDREF edge.
+//! Micro-benchmarks for Table 2: per-update cost of A(k) maintenance
+//! across k, split/merge versus the simple baseline (criterion-free,
+//! `xsi_bench::micro`). Each iteration inserts and deletes one pooled
+//! IDREF edge.
+//!
+//! Run with `cargo bench --features bench --bench ak_index_updates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsi_bench::micro::{bench, group};
 use xsi_core::{AkIndex, SimpleAkIndex};
 use xsi_graph::{EdgeKind, Graph, NodeId};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
@@ -19,36 +22,27 @@ fn setup() -> (Graph, Vec<(NodeId, NodeId)>) {
     (g, edges)
 }
 
-fn bench_ak_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ak_index_updates");
-    group.sample_size(20);
+fn main() {
+    group("ak_index_updates");
     for k in 2..=5usize {
         let (mut g, edges) = setup();
         let mut idx = AkIndex::build(&g, k);
         let mut i = 0usize;
-        group.bench_function(BenchmarkId::new("split_merge_pair", k), |b| {
-            b.iter(|| {
-                let (u, v) = edges[i % edges.len()];
-                i += 1;
-                idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
-                idx.delete_edge(&mut g, u, v).unwrap();
-            })
+        bench(&format!("split_merge_pair / k={k}"), || {
+            let (u, v) = edges[i % edges.len()];
+            i += 1;
+            idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            idx.delete_edge(&mut g, u, v).unwrap();
         });
 
         let (mut g, edges) = setup();
         let mut idx = SimpleAkIndex::build(&g, k);
         let mut i = 0usize;
-        group.bench_function(BenchmarkId::new("simple_pair", k), |b| {
-            b.iter(|| {
-                let (u, v) = edges[i % edges.len()];
-                i += 1;
-                idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
-                idx.delete_edge(&mut g, u, v).unwrap();
-            })
+        bench(&format!("simple_pair / k={k}"), || {
+            let (u, v) = edges[i % edges.len()];
+            i += 1;
+            idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            idx.delete_edge(&mut g, u, v).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ak_updates);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
-//! Criterion micro-benchmarks: from-scratch index construction.
+//! Micro-benchmarks: from-scratch index construction (criterion-free,
+//! using `xsi_bench::micro` so the tier-1 verify stays offline).
 //!
 //! Context for Figure 11 / Table 2: reconstruction is the cost the
 //! incremental algorithms avoid, so its absolute magnitude matters.
+//!
+//! Run with `cargo bench --features bench --bench construction`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsi_bench::micro::{bench, group};
 use xsi_core::{AkIndex, OneIndex};
 use xsi_workload::{generate_imdb, generate_xmark, ImdbParams, XmarkParams};
 
-fn bench_construction(c: &mut Criterion) {
+fn main() {
     let xmark = generate_xmark(&XmarkParams::new(0.1, 1.0, 42));
     let imdb = generate_imdb(&ImdbParams::new(0.1, 42));
 
-    let mut g = c.benchmark_group("construction");
-    g.bench_function(BenchmarkId::new("1-index", "xmark-0.1"), |b| {
-        b.iter(|| OneIndex::build(&xmark))
-    });
-    g.bench_function(BenchmarkId::new("1-index", "imdb-0.1"), |b| {
-        b.iter(|| OneIndex::build(&imdb))
-    });
+    group("construction");
+    bench("1-index / xmark-0.1", || OneIndex::build(&xmark));
+    bench("1-index / imdb-0.1", || OneIndex::build(&imdb));
     for k in [2usize, 5] {
-        g.bench_function(BenchmarkId::new(format!("A({k})"), "xmark-0.1"), |b| {
-            b.iter(|| AkIndex::build(&xmark, k))
-        });
+        bench(&format!("A({k}) / xmark-0.1"), || AkIndex::build(&xmark, k));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

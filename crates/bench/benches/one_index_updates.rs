@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for Figure 11: per-update cost of 1-index
-//! maintenance. Each iteration performs one insert + one delete of a
-//! pooled IDREF edge, so the split/merge index returns to (a partition
-//! equal to) its starting state and no per-iteration setup is needed.
+//! Micro-benchmarks for Figure 11: per-update cost of 1-index
+//! maintenance (criterion-free, `xsi_bench::micro`). Each iteration
+//! performs one insert + one delete of a pooled IDREF edge, so the
+//! split/merge index returns to (a partition equal to) its starting state
+//! and no per-iteration setup is needed.
 //!
 //! Caveat on the propagate numbers: without a merge phase, the baseline
 //! fragments the index during warm-up until re-inserting a pooled edge
@@ -9,8 +10,10 @@
 //! approaches the no-op floor. The `fig11_times` binary performs the
 //! paper's fair comparison (fresh pool edges throughout); this bench
 //! primarily tracks the split/merge cost.
+//!
+//! Run with `cargo bench --features bench --bench one_index_updates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsi_bench::micro::{bench, group};
 use xsi_core::OneIndex;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
@@ -30,39 +33,25 @@ fn setup(cyclicity: f64) -> (Graph, OneIndex, Vec<(NodeId, NodeId)>) {
     (g, idx, edges)
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("one_index_updates");
+fn main() {
+    group("one_index_updates");
     for cyclicity in [1.0, 0.0] {
         let (mut g, mut idx, edges) = setup(cyclicity);
         let mut i = 0usize;
-        group.bench_function(
-            BenchmarkId::new("split_merge_pair", format!("xmark({cyclicity})")),
-            |b| {
-                b.iter(|| {
-                    let (u, v) = edges[i % edges.len()];
-                    i += 1;
-                    idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
-                    idx.delete_edge(&mut g, u, v).unwrap();
-                })
-            },
-        );
+        bench(&format!("split_merge_pair / xmark({cyclicity})"), || {
+            let (u, v) = edges[i % edges.len()];
+            i += 1;
+            idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+            idx.delete_edge(&mut g, u, v).unwrap();
+        });
         let (mut g, mut idx, edges) = setup(cyclicity);
         let mut i = 0usize;
-        group.bench_function(
-            BenchmarkId::new("propagate_pair", format!("xmark({cyclicity})")),
-            |b| {
-                b.iter(|| {
-                    let (u, v) = edges[i % edges.len()];
-                    i += 1;
-                    idx.propagate_insert_edge(&mut g, u, v, EdgeKind::IdRef)
-                        .unwrap();
-                    idx.propagate_delete_edge(&mut g, u, v).unwrap();
-                })
-            },
-        );
+        bench(&format!("propagate_pair / xmark({cyclicity})"), || {
+            let (u, v) = edges[i % edges.len()];
+            i += 1;
+            idx.propagate_insert_edge(&mut g, u, v, EdgeKind::IdRef)
+                .unwrap();
+            idx.propagate_delete_edge(&mut g, u, v).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);

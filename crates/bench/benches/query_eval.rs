@@ -1,13 +1,16 @@
-//! Criterion micro-benchmarks: path-expression evaluation directly on the
-//! data graph versus through the structural indexes — the reason the
-//! indexes exist, and the motivation (Section 3) for keeping them small.
+//! Micro-benchmarks: path-expression evaluation directly on the data
+//! graph versus through the structural indexes (criterion-free,
+//! `xsi_bench::micro`) — the reason the indexes exist, and the motivation
+//! (Section 3) for keeping them small.
+//!
+//! Run with `cargo bench --features bench --bench query_eval`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsi_bench::micro::{bench, group};
 use xsi_core::{AkIndex, OneIndex};
 use xsi_query::{eval_ak_validated, eval_graph, eval_one_index, PathExpr};
 use xsi_workload::{generate_xmark, XmarkParams};
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let g = generate_xmark(&XmarkParams::new(0.1, 1.0, 42));
     let one = OneIndex::build(&g);
     let ak3 = AkIndex::build(&g, 3);
@@ -17,21 +20,15 @@ fn bench_queries(c: &mut Criterion) {
         "//incategory",
         "/site/regions/*/item/description",
     ];
-    let mut group = c.benchmark_group("query_eval");
+    group("query_eval");
     for q in queries {
         let expr = PathExpr::parse(q).unwrap();
-        group.bench_function(BenchmarkId::new("graph", q), |b| {
-            b.iter(|| eval_graph(&g, &expr))
+        bench(&format!("graph / {q}"), || eval_graph(&g, &expr));
+        bench(&format!("one_index / {q}"), || {
+            eval_one_index(&g, &one, &expr)
         });
-        group.bench_function(BenchmarkId::new("one_index", q), |b| {
-            b.iter(|| eval_one_index(&g, &one, &expr))
-        });
-        group.bench_function(BenchmarkId::new("ak3_validated", q), |b| {
-            b.iter(|| eval_ak_validated(&g, &ak3, &expr))
+        bench(&format!("ak3_validated / {q}"), || {
+            eval_ak_validated(&g, &ak3, &expr)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

@@ -1,10 +1,17 @@
 //! Workload drivers: run the paper's mixed insert/delete protocol through
 //! a chosen maintenance algorithm, sampling the quality metric and
 //! separating update time from reconstruction time.
+//!
+//! Since the [`StructuralIndex`] refactor there is exactly **one** driver
+//! loop, [`run_mixed_updates`], generic over `&mut dyn StructuralIndex` —
+//! the per-family `enum`-match dispatch copies are gone. The
+//! [`Algo1`]/[`AlgoAk`] entry points used by the experiment binaries map
+//! an algorithm name to a boxed index plus a rebuild-policy flag and
+//! delegate.
 
 use std::time::{Duration, Instant};
-use xsi_core::rebuild::{reconstruct_1index, RebuildPolicy};
-use xsi_core::{check, AkIndex, OneIndex, SimpleAkIndex};
+use xsi_core::rebuild::RebuildPolicy;
+use xsi_core::{check, AkIndex, OneIndex, PropagateOneIndex, SimpleAkIndex, StructuralIndex};
 use xsi_graph::{EdgeKind, Graph};
 use xsi_workload::EdgePool;
 
@@ -73,19 +80,23 @@ impl RunSummary {
     }
 }
 
-/// Runs `pairs` insert+delete pairs on the 1-index with the given
-/// algorithm. The index is built after pool extraction (so it reflects
-/// the initial graph), and quality is sampled every `sample_every` pairs
-/// against a fresh Paige–Tarjan construction (not charged to the run).
-pub fn run_mixed_updates_1index(
+/// Runs `pairs` insert+delete pairs through any [`StructuralIndex`]'s
+/// maintenance hooks (mutate the graph, then observe — the
+/// [`xsi_core::StructuralIndex`] contract). Quality is sampled every
+/// `sample_every` pairs against the family's freshly built minimum index
+/// ([`StructuralIndex::minimum_block_count`], not charged to the run).
+/// With `with_rebuild`, the 5 %-growth [`RebuildPolicy`] triggers
+/// [`StructuralIndex::rebuild`] after any update that exceeds the
+/// threshold, with the time booked separately.
+pub fn run_mixed_updates(
     g: &mut Graph,
     pool: &mut EdgePool,
     pairs: usize,
     sample_every: usize,
-    algo: Algo1,
+    idx: &mut dyn StructuralIndex,
+    with_rebuild: bool,
 ) -> RunSummary {
-    let mut idx = OneIndex::build(g);
-    let mut policy = RebuildPolicy::new(idx.block_count());
+    let mut policy = with_rebuild.then(|| RebuildPolicy::new(idx.block_count()));
     let mut summary = RunSummary {
         samples: Vec::new(),
         update_time: Duration::ZERO,
@@ -94,68 +105,56 @@ pub fn run_mixed_updates_1index(
         updates: 0,
         final_size: idx.block_count(),
     };
-    push_sample_1(&mut summary, g, &idx, 0);
+    push_sample(&mut summary, g, idx, 0);
     for pair in 1..=pairs {
         let Some((u, v)) = pool.next_insert() else {
             break;
         };
+        g.insert_edge(u, v, EdgeKind::IdRef).expect("insert");
         let t = Instant::now();
-        match algo {
-            Algo1::SplitMerge => {
-                idx.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
-            }
-            Algo1::Propagate | Algo1::PropagateWithRebuild => {
-                idx.propagate_insert_edge(g, u, v, EdgeKind::IdRef)
-                    .expect("insert");
-            }
-        }
+        idx.on_edge_inserted(g, u, v);
         summary.update_time += t.elapsed();
         summary.updates += 1;
-        maybe_rebuild_1(&mut summary, &mut policy, g, &mut idx, algo);
+        maybe_rebuild(&mut summary, &mut policy, g, idx);
 
         let Some((u, v)) = pool.next_delete() else {
             break;
         };
+        g.delete_edge(u, v).expect("delete");
         let t = Instant::now();
-        match algo {
-            Algo1::SplitMerge => {
-                idx.delete_edge(g, u, v).expect("delete");
-            }
-            Algo1::Propagate | Algo1::PropagateWithRebuild => {
-                idx.propagate_delete_edge(g, u, v).expect("delete");
-            }
-        }
+        idx.on_edge_deleted(g, u, v);
         summary.update_time += t.elapsed();
         summary.updates += 1;
-        maybe_rebuild_1(&mut summary, &mut policy, g, &mut idx, algo);
+        maybe_rebuild(&mut summary, &mut policy, g, idx);
 
         if pair % sample_every == 0 || pair == pairs {
             let updates = summary.updates;
-            push_sample_1(&mut summary, g, &idx, updates);
+            push_sample(&mut summary, g, idx, updates);
         }
     }
     summary.final_size = idx.block_count();
     summary
 }
 
-fn maybe_rebuild_1(
+fn maybe_rebuild(
     summary: &mut RunSummary,
-    policy: &mut RebuildPolicy,
+    policy: &mut Option<RebuildPolicy>,
     g: &Graph,
-    idx: &mut OneIndex,
-    algo: Algo1,
+    idx: &mut dyn StructuralIndex,
 ) {
-    if algo == Algo1::PropagateWithRebuild && policy.should_rebuild(idx.block_count()) {
-        let t = Instant::now();
-        *idx = reconstruct_1index(g, idx);
-        summary.rebuild_time += t.elapsed();
-        summary.rebuild_count += 1;
-        policy.on_rebuilt(idx.block_count());
+    if let Some(policy) = policy {
+        if policy.should_rebuild(idx.block_count()) {
+            let t = Instant::now();
+            idx.rebuild(g);
+            summary.rebuild_time += t.elapsed();
+            summary.rebuild_count += 1;
+            policy.on_rebuilt(idx.block_count());
+        }
     }
 }
 
-fn push_sample_1(summary: &mut RunSummary, g: &Graph, idx: &OneIndex, updates: usize) {
-    let minimum = OneIndex::build(g).block_count();
+fn push_sample(summary: &mut RunSummary, g: &Graph, idx: &dyn StructuralIndex, updates: usize) {
+    let minimum = idx.minimum_block_count(g);
     summary.samples.push(QualitySample {
         updates,
         index_size: idx.block_count(),
@@ -164,8 +163,26 @@ fn push_sample_1(summary: &mut RunSummary, g: &Graph, idx: &OneIndex, updates: u
     });
 }
 
+/// Runs `pairs` insert+delete pairs on the 1-index with the given
+/// algorithm. The index is built after pool extraction (so it reflects
+/// the initial graph). (Thin wrapper over [`run_mixed_updates`].)
+pub fn run_mixed_updates_1index(
+    g: &mut Graph,
+    pool: &mut EdgePool,
+    pairs: usize,
+    sample_every: usize,
+    algo: Algo1,
+) -> RunSummary {
+    let (mut idx, with_rebuild): (Box<dyn StructuralIndex>, bool) = match algo {
+        Algo1::SplitMerge => (Box::new(OneIndex::build(g)), false),
+        Algo1::Propagate => (Box::new(PropagateOneIndex::build(g)), false),
+        Algo1::PropagateWithRebuild => (Box::new(PropagateOneIndex::build(g)), true),
+    };
+    run_mixed_updates(g, pool, pairs, sample_every, idx.as_mut(), with_rebuild)
+}
+
 /// Runs `pairs` insert+delete pairs on the A(k)-index with the given
-/// algorithm, sampling quality against a fresh construction.
+/// algorithm. (Thin wrapper over [`run_mixed_updates`].)
 pub fn run_mixed_updates_ak(
     g: &mut Graph,
     k: usize,
@@ -174,85 +191,12 @@ pub fn run_mixed_updates_ak(
     sample_every: usize,
     algo: AlgoAk,
 ) -> RunSummary {
-    enum Index {
-        Exact(Box<AkIndex>),
-        Simple(SimpleAkIndex),
-    }
-    let mut idx = match algo {
-        AlgoAk::SplitMerge => Index::Exact(Box::new(AkIndex::build(g, k))),
-        AlgoAk::Simple | AlgoAk::SimpleWithRebuild => Index::Simple(SimpleAkIndex::build(g, k)),
+    let (mut idx, with_rebuild): (Box<dyn StructuralIndex>, bool) = match algo {
+        AlgoAk::SplitMerge => (Box::new(AkIndex::build(g, k)), false),
+        AlgoAk::Simple => (Box::new(SimpleAkIndex::build(g, k)), false),
+        AlgoAk::SimpleWithRebuild => (Box::new(SimpleAkIndex::build(g, k)), true),
     };
-    let size = |idx: &Index| match idx {
-        Index::Exact(i) => i.block_count(),
-        Index::Simple(i) => i.block_count(),
-    };
-    let mut policy = RebuildPolicy::new(size(&idx));
-    let mut summary = RunSummary {
-        samples: Vec::new(),
-        update_time: Duration::ZERO,
-        rebuild_time: Duration::ZERO,
-        rebuild_count: 0,
-        updates: 0,
-        final_size: size(&idx),
-    };
-    let minimum = AkIndex::build(g, k).block_count();
-    summary.samples.push(QualitySample {
-        updates: 0,
-        index_size: size(&idx),
-        minimum_size: minimum,
-        quality: check::quality(size(&idx), minimum),
-    });
-    for pair in 1..=pairs {
-        let Some((u, v)) = pool.next_insert() else {
-            break;
-        };
-        let t = Instant::now();
-        match &mut idx {
-            Index::Exact(i) => {
-                i.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
-            }
-            Index::Simple(i) => {
-                i.insert_edge(g, u, v, EdgeKind::IdRef).expect("insert");
-            }
-        }
-        summary.update_time += t.elapsed();
-        summary.updates += 1;
-
-        let Some((u, v)) = pool.next_delete() else {
-            break;
-        };
-        let t = Instant::now();
-        match &mut idx {
-            Index::Exact(i) => {
-                i.delete_edge(g, u, v).expect("delete");
-            }
-            Index::Simple(i) => {
-                i.delete_edge(g, u, v).expect("delete");
-            }
-        }
-        summary.update_time += t.elapsed();
-        summary.updates += 1;
-
-        if algo == AlgoAk::SimpleWithRebuild && policy.should_rebuild(size(&idx)) {
-            let t = Instant::now();
-            idx = Index::Simple(SimpleAkIndex::build(g, k));
-            summary.rebuild_time += t.elapsed();
-            summary.rebuild_count += 1;
-            policy.on_rebuilt(size(&idx));
-        }
-
-        if pair % sample_every == 0 || pair == pairs {
-            let minimum = AkIndex::build(g, k).block_count();
-            summary.samples.push(QualitySample {
-                updates: summary.updates,
-                index_size: size(&idx),
-                minimum_size: minimum,
-                quality: check::quality(size(&idx), minimum),
-            });
-        }
-    }
-    summary.final_size = size(&idx);
-    summary
+    run_mixed_updates(g, pool, pairs, sample_every, idx.as_mut(), with_rebuild)
 }
 
 #[cfg(test)]
@@ -319,5 +263,18 @@ mod tests {
         let s = run_mixed_updates_ak(&mut g, 2, &mut pool, 30, 30, AlgoAk::Simple);
         let last = s.samples.last().unwrap();
         assert!(last.index_size >= last.minimum_size);
+    }
+
+    /// The generic runner accepts any index family directly — the form
+    /// new experiments should use.
+    #[test]
+    fn generic_runner_drives_any_family() {
+        let (mut g, mut pool) = setup(0.01);
+        let mut idx = SimpleAkIndex::build(&g, 2);
+        let s = run_mixed_updates(&mut g, &mut pool, 10, 5, &mut idx, true);
+        assert_eq!(s.updates, 20);
+        for sample in &s.samples {
+            assert!(sample.index_size >= sample.minimum_size);
+        }
     }
 }

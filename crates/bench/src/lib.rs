@@ -8,10 +8,12 @@
 
 pub mod cli;
 pub mod driver;
+pub mod micro;
 pub mod output;
 
 pub use cli::Args;
 pub use driver::{
-    run_mixed_updates_1index, run_mixed_updates_ak, Algo1, AlgoAk, QualitySample, RunSummary,
+    run_mixed_updates, run_mixed_updates_1index, run_mixed_updates_ak, Algo1, AlgoAk,
+    QualitySample, RunSummary,
 };
 pub use output::{write_csv, Table};

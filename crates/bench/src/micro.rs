@@ -1,0 +1,61 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! Criterion is a registry dependency, and tier-1 verification must run
+//! fully offline (Cargo resolves every manifest dependency against the
+//! registry index, optional ones included). The `benches/` targets use
+//! this module instead: warm-up, then timed batches with a median-of-runs
+//! report. It measures honestly — wall-clock monotonic time around a
+//! closure, result sink via [`std::hint::black_box`] — but intentionally
+//! skips criterion's statistics machinery; for the paper's tables the
+//! `src/bin/` harnesses remain the source of truth.
+
+use std::time::{Duration, Instant};
+
+/// How long each measurement batch aims to run.
+const TARGET_BATCH: Duration = Duration::from_millis(50);
+/// Number of measured batches (median reported).
+const BATCHES: usize = 11;
+
+/// One measured benchmark: `name` is printed alongside the median
+/// nanoseconds per iteration.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up and calibration: find an iteration count whose batch takes
+    // roughly TARGET_BATCH.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_BATCH / 2 || iters >= 1 << 24 {
+            if elapsed < TARGET_BATCH && iters < 1 << 24 {
+                iters = iters.saturating_mul(2);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<56} {:>12} ns/iter (min {lo:.0}, max {hi:.0}, {iters} iters/batch)",
+        format!("{median:.0}")
+    );
+}
+
+/// Prints a section header for a group of related benchmarks.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

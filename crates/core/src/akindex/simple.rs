@@ -17,6 +17,7 @@
 //! the memo off to reproduce the paper's exponential-in-k cost exactly
 //! (see EXPERIMENTS.md). Quality behaviour is identical either way.
 
+use crate::stats::UpdateStats;
 use std::collections::HashMap;
 use xsi_graph::{bfs_descendants, EdgeKind, Graph, GraphError, NodeId};
 
@@ -84,6 +85,11 @@ impl SimpleAkIndex {
         self
     }
 
+    /// Whether per-update signature memoization is enabled.
+    pub fn memoize(&self) -> bool {
+        self.memoize
+    }
+
     /// Number of inodes.
     pub fn block_count(&self) -> usize {
         self.members.len()
@@ -117,6 +123,109 @@ impl SimpleAkIndex {
         let kind = g.delete_edge(u, v)?;
         self.repartition_affected(g, v);
         Ok(kind)
+    }
+
+    /// Maintenance hook for an edge insertion already applied to `g` by
+    /// the caller — for running several indexes over one graph (the
+    /// [`crate::StructuralIndex`] fan-out convention). Equivalent to
+    /// [`SimpleAkIndex::insert_edge`] minus the graph mutation.
+    pub fn notify_edge_inserted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
+        debug_assert!(g.has_edge(u, v), "notify before mutating the graph");
+        let _ = u;
+        self.repair(g, v)
+    }
+
+    /// Maintenance hook for an edge deletion already applied to `g` by
+    /// the caller; see [`SimpleAkIndex::notify_edge_inserted`].
+    pub fn notify_edge_deleted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
+        debug_assert!(!g.has_edge(u, v), "notify after mutating the graph");
+        let _ = u;
+        self.repair(g, v)
+    }
+
+    /// Registers a freshly added node (no edges yet): a parentless node's
+    /// k-bisim class is determined by its label alone, so it joins an
+    /// existing block of parentless label-twins if one exists, else gets
+    /// a fresh singleton block. (Refinement-safety is preserved either
+    /// way; joining twins keeps the index from fragmenting on add-heavy
+    /// workloads exactly like a reconstruction would.)
+    pub fn on_node_added(&mut self, g: &Graph, n: NodeId) {
+        if self.node_block.len() < g.capacity() {
+            self.node_block.resize(g.capacity(), UNASSIGNED);
+        }
+        debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);
+        let label = g.label(n);
+        let twin = self.members.iter().find_map(|(&b, extent)| {
+            let &rep = extent.first()?;
+            (g.label(rep) == label && extent.iter().all(|&m| g.in_degree(m) == 0)).then_some(b)
+        });
+        let b = twin.unwrap_or_else(|| {
+            let b = self.next_block;
+            self.next_block += 1;
+            b
+        });
+        self.node_block[n.index()] = b;
+        self.members.entry(b).or_default().push(n);
+    }
+
+    /// Unregisters a node about to be removed (all of its edges must have
+    /// been deleted already). Call *before* `Graph::remove_node`.
+    pub fn on_node_removing(&mut self, g: &Graph, n: NodeId) {
+        debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);
+        let b = self.node_block[n.index()];
+        self.node_block[n.index()] = UNASSIGNED;
+        if let Some(extent) = self.members.get_mut(&b) {
+            extent.retain(|&m| m != n);
+            if extent.is_empty() {
+                self.members.remove(&b);
+            }
+        }
+    }
+
+    /// Runs the repartition repair and reports what it did in the common
+    /// [`UpdateStats`] currency (the simple algorithm only ever splits).
+    fn repair(&mut self, g: &Graph, v: NodeId) -> UpdateStats {
+        let before = self.block_count();
+        self.repartition_affected(g, v);
+        let after = self.block_count();
+        UpdateStats {
+            splits: after - before,
+            merges: 0,
+            intermediate_blocks: after,
+            final_blocks: after,
+            no_op: after == before,
+        }
+    }
+
+    /// Internal consistency check: the recorded partition covers exactly
+    /// the live nodes, block ids agree between the two tables, and no
+    /// extent is empty.
+    pub fn check_consistency(&self, g: &Graph) -> Result<(), String> {
+        let mut seen = 0usize;
+        for (&b, extent) in &self.members {
+            if extent.is_empty() {
+                return Err(format!("block {b} has an empty extent"));
+            }
+            for &n in extent {
+                if !g.is_alive(n) {
+                    return Err(format!("block {b} contains dead node {n}"));
+                }
+                if self.node_block[n.index()] != b {
+                    return Err(format!(
+                        "node {n}: node_block says {}, members say {b}",
+                        self.node_block[n.index()]
+                    ));
+                }
+                seen += 1;
+            }
+        }
+        if seen != g.node_count() {
+            return Err(format!(
+                "partition covers {seen} nodes, graph has {}",
+                g.node_count()
+            ));
+        }
+        Ok(())
     }
 
     /// BFS from `v` to depth k−1, then re-partition each inode containing

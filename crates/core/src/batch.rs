@@ -2,11 +2,10 @@
 //!
 //! Applications rarely see one edge at a time — an XML document change
 //! arrives as a group of node and edge operations. [`UpdateOp`] describes
-//! one operation; [`apply_batch_1index`] / [`apply_batch_ak`] apply a
-//! group through incremental maintenance in dependency-safe order
-//! (node additions first, then edge insertions, then edge deletions,
-//! then node removals), validating that the batch is internally
-//! consistent before touching anything.
+//! one operation; [`apply_batch`] applies a group through incremental
+//! maintenance in dependency-safe order (node additions first, then edge
+//! insertions, then edge deletions, then node removals), validating that
+//! the batch is internally consistent before touching anything.
 //!
 //! Each operation still runs through the split/merge machinery, so the
 //! minimality/minimum guarantees hold at every intermediate step; the
@@ -14,8 +13,16 @@
 //! statistics. (True batching that defers the merge phase across a group
 //! is what Figure 6 does for subgraphs — use
 //! [`crate::OneIndex::add_subgraph`] for that case.)
+//!
+//! Since the [`StructuralIndex`] refactor there is exactly **one**
+//! application path: [`apply_batch_traced`] drives any set of trait-object
+//! indexes over one graph (this is what [`crate::UpdateEngine`] calls),
+//! and [`apply_batch`] / [`apply_batch_1index`] / [`apply_batch_ak`] are
+//! thin single-index wrappers over it. The per-index-type macro that used
+//! to stamp out parallel copies of this logic is gone.
 
 use crate::akindex::AkIndex;
+use crate::index::StructuralIndex;
 use crate::oneindex::OneIndex;
 use crate::stats::UpdateStats;
 use std::collections::HashSet;
@@ -85,8 +92,14 @@ impl From<GraphError> for BatchError {
 pub struct BatchResult {
     /// Host ids of the batch's `AddNode`s, in order.
     pub created: Vec<NodeId>,
-    /// Aggregate per-operation statistics.
+    /// Aggregate per-operation statistics (absorbed across every applied
+    /// operation and every index).
     pub stats: UpdateStats,
+    /// Number of primitive graph mutations applied: one per node added,
+    /// edge inserted, edge explicitly deleted, plus — for each node
+    /// removal — one per incident edge implicitly deleted and one for the
+    /// removal itself.
+    pub ops_applied: usize,
 }
 
 fn validate(g: &Graph, batch: &[UpdateOp]) -> Result<(), BatchError> {
@@ -119,78 +132,151 @@ fn validate(g: &Graph, batch: &[UpdateOp]) -> Result<(), BatchError> {
                 if !g.is_alive(*node) || !removed.insert(*node) {
                     return Err(BatchError::DeadNode(*node));
                 }
+                if *node == g.root() {
+                    // Reject up front: the graph would refuse the removal
+                    // in phase 4, after the node's edges were already
+                    // swept — breaking the leave-untouched contract.
+                    return Err(BatchError::Graph(GraphError::RootViolation));
+                }
             }
         }
     }
     Ok(())
 }
 
-macro_rules! impl_apply_batch {
-    ($fn_name:ident, $index:ty, $doc:literal) => {
-        #[doc = $doc]
-        ///
-        /// Operations are applied in phase order (add-node → insert-edge →
-        /// delete-edge → remove-node); within a phase, batch order is
-        /// preserved. The batch is validated up front — a structurally
-        /// invalid batch leaves graph and index untouched. Graph-level
-        /// failures mid-application (e.g. duplicate edge inserts) abort
-        /// with the error; operations already applied remain applied, and
-        /// the index is consistent with the graph at every step.
-        pub fn $fn_name(
-            idx: &mut $index,
-            g: &mut Graph,
-            batch: &[UpdateOp],
-        ) -> Result<BatchResult, BatchError> {
-            validate(g, batch)?;
-            let mut result = BatchResult::default();
-            // Phase 1: node additions.
-            for op in batch {
-                if let UpdateOp::AddNode { label } = op {
-                    let n = g.add_node(label, None);
-                    idx.on_node_added(g, n);
-                    result.created.push(n);
-                }
-            }
-            let resolve = |r: &NodeRef, created: &[NodeId]| match r {
-                NodeRef::Existing(n) => *n,
-                NodeRef::New(i) => created[*i],
+/// The single batch-application core: applies a batch to `g` and fans
+/// every mutation out to all `indexes`, returning the combined
+/// [`BatchResult`] plus the per-index aggregate [`UpdateStats`] (same
+/// order as `indexes`).
+///
+/// Operations are applied in phase order (add-node → insert-edge →
+/// delete-edge → remove-node); within a phase, batch order is preserved.
+/// A node removal first deletes the node's *remaining* incident edges
+/// (incoming first, then outgoing) through the regular edge-deletion
+/// fan-out — so a batch may freely mix explicit `DeleteEdge`s on a node's
+/// edges with a `RemoveNode` of that node — then notifies
+/// [`StructuralIndex::on_node_removing`], then removes the node from the
+/// graph.
+///
+/// The batch is validated up front — a structurally invalid batch leaves
+/// graph and indexes untouched. Graph-level failures mid-application
+/// (e.g. duplicate edge inserts) abort with the error; operations already
+/// applied remain applied, and every index is consistent with the graph
+/// at every step.
+pub fn apply_batch_traced(
+    indexes: &mut [&mut dyn StructuralIndex],
+    g: &mut Graph,
+    batch: &[UpdateOp],
+) -> Result<(BatchResult, Vec<UpdateStats>), BatchError> {
+    validate(g, batch)?;
+    let mut result = BatchResult::default();
+    let mut per_index = vec![UpdateStats::default(); indexes.len()];
+
+    let observe = |g: &Graph,
+                   u: NodeId,
+                   v: NodeId,
+                   inserted: bool,
+                   indexes: &mut [&mut dyn StructuralIndex],
+                   result: &mut BatchResult,
+                   per_index: &mut [UpdateStats]| {
+        for (idx, acc) in indexes.iter_mut().zip(per_index.iter_mut()) {
+            let s = if inserted {
+                idx.on_edge_inserted(g, u, v)
+            } else {
+                idx.on_edge_deleted(g, u, v)
             };
-            // Phase 2: edge insertions.
-            for op in batch {
-                if let UpdateOp::InsertEdge { from, to, kind } = op {
-                    let (u, v) = (resolve(from, &result.created), resolve(to, &result.created));
-                    g.insert_edge(u, v, *kind)?;
-                    result.stats.absorb(&idx.notify_edge_inserted(g, u, v));
-                }
-            }
-            // Phase 3: edge deletions.
-            for op in batch {
-                if let UpdateOp::DeleteEdge { from, to } = op {
-                    g.delete_edge(*from, *to)?;
-                    result.stats.absorb(&idx.notify_edge_deleted(g, *from, *to));
-                }
-            }
-            // Phase 4: node removals (including incident edges).
-            for op in batch {
-                if let UpdateOp::RemoveNode { node } = op {
-                    result.stats.absorb(&idx.delete_node(g, *node)?);
-                }
-            }
-            Ok(result)
+            acc.absorb(&s);
+            result.stats.absorb(&s);
         }
+        result.ops_applied += 1;
     };
+
+    // Phase 1: node additions.
+    for op in batch {
+        if let UpdateOp::AddNode { label } = op {
+            let n = g.add_node(label, None);
+            for idx in indexes.iter_mut() {
+                idx.on_node_added(g, n);
+            }
+            result.created.push(n);
+            result.ops_applied += 1;
+        }
+    }
+    let resolve = |r: &NodeRef, created: &[NodeId]| match r {
+        NodeRef::Existing(n) => *n,
+        NodeRef::New(i) => created[*i],
+    };
+    // Phase 2: edge insertions.
+    for op in batch {
+        if let UpdateOp::InsertEdge { from, to, kind } = op {
+            let (u, v) = (resolve(from, &result.created), resolve(to, &result.created));
+            g.insert_edge(u, v, *kind)?;
+            observe(g, u, v, true, indexes, &mut result, &mut per_index);
+        }
+    }
+    // Phase 3: edge deletions.
+    for op in batch {
+        if let UpdateOp::DeleteEdge { from, to } = op {
+            g.delete_edge(*from, *to)?;
+            observe(g, *from, *to, false, indexes, &mut result, &mut per_index);
+        }
+    }
+    // Phase 4: node removals (after explicit edge deletions, so edges
+    // already deleted in phase 3 are not double-processed; any edges the
+    // node still has are deleted here through the same fan-out).
+    for op in batch {
+        if let UpdateOp::RemoveNode { node } = op {
+            let parents: Vec<NodeId> = g.pred(*node).collect();
+            for p in parents {
+                g.delete_edge(p, *node)?;
+                observe(g, p, *node, false, indexes, &mut result, &mut per_index);
+            }
+            let children: Vec<NodeId> = g.succ(*node).collect();
+            for c in children {
+                g.delete_edge(*node, c)?;
+                observe(g, *node, c, false, indexes, &mut result, &mut per_index);
+            }
+            for idx in indexes.iter_mut() {
+                idx.on_node_removing(g, *node);
+            }
+            g.remove_node(*node)?;
+            result.ops_applied += 1;
+        }
+    }
+    Ok((result, per_index))
 }
 
-impl_apply_batch!(
-    apply_batch_1index,
-    OneIndex,
-    "Applies a batch of updates through 1-index split/merge maintenance."
-);
-impl_apply_batch!(
-    apply_batch_ak,
-    AkIndex,
-    "Applies a batch of updates through A(k) split/merge maintenance."
-);
+/// Applies a batch of updates through any [`StructuralIndex`]'s
+/// incremental maintenance. See [`apply_batch_traced`] for ordering and
+/// failure semantics.
+pub fn apply_batch(
+    idx: &mut dyn StructuralIndex,
+    g: &mut Graph,
+    batch: &[UpdateOp],
+) -> Result<BatchResult, BatchError> {
+    let mut views: [&mut dyn StructuralIndex; 1] = [idx];
+    apply_batch_traced(&mut views, g, batch).map(|(result, _)| result)
+}
+
+/// Applies a batch of updates through 1-index split/merge maintenance.
+/// (Thin wrapper over [`apply_batch`], kept for source compatibility.)
+pub fn apply_batch_1index(
+    idx: &mut OneIndex,
+    g: &mut Graph,
+    batch: &[UpdateOp],
+) -> Result<BatchResult, BatchError> {
+    apply_batch(idx, g, batch)
+}
+
+/// Applies a batch of updates through A(k) split/merge maintenance.
+/// (Thin wrapper over [`apply_batch`], kept for source compatibility.)
+pub fn apply_batch_ak(
+    idx: &mut AkIndex,
+    g: &mut Graph,
+    batch: &[UpdateOp],
+) -> Result<BatchResult, BatchError> {
+    apply_batch(idx, g, batch)
+}
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +321,7 @@ mod tests {
         ];
         let result = apply_batch_1index(&mut idx, &mut g, &batch).unwrap();
         assert_eq!(result.created.len(), 2);
+        assert_eq!(result.ops_applied, 5);
         idx.partition().check_consistency(&g).unwrap();
         assert!(is_minimal_1index(&g, idx.partition()));
         assert_eq!(idx.block_count(), OneIndex::build(&g).block_count());
@@ -259,7 +346,9 @@ mod tests {
         let remove = vec![UpdateOp::RemoveNode {
             node: result.created[0],
         }];
-        apply_batch_1index(&mut idx, &mut g, &remove).unwrap();
+        let rr = apply_batch_1index(&mut idx, &mut g, &remove).unwrap();
+        // One implicit edge deletion + the node removal itself.
+        assert_eq!(rr.ops_applied, 2);
         assert_eq!(idx.canonical(), before);
     }
 
@@ -320,5 +409,67 @@ mod tests {
             apply_batch_1index(&mut idx, &mut g, &bad).unwrap_err(),
             BatchError::DeadNode(ids[&2])
         );
+    }
+
+    /// Regression (satellite 6): a batch that removes a node *and*
+    /// explicitly deletes that node's edges must apply the explicit
+    /// deletions first (phase 3), then remove the node without
+    /// double-deleting — previously a risk because `RemoveNode` eagerly
+    /// swept all incident edges.
+    #[test]
+    fn remove_node_after_explicit_edge_deletions_in_same_batch() {
+        let (mut g, ids) = host();
+        // Give node 2 a second incident edge so the removal still has
+        // work to do after the explicit deletion.
+        let extra = g.add_node("watch", None);
+        g.insert_edge(ids[&2], extra, EdgeKind::Child).unwrap();
+        let mut idx = OneIndex::build(&g);
+        let batch = vec![
+            UpdateOp::DeleteEdge {
+                from: ids[&1],
+                to: ids[&2],
+            },
+            UpdateOp::RemoveNode { node: ids[&2] },
+        ];
+        let result = apply_batch_1index(&mut idx, &mut g, &batch).unwrap();
+        // Explicit deletion (1) + implicit deletion of (2, extra) (1) +
+        // node removal (1).
+        assert_eq!(result.ops_applied, 3);
+        assert!(!g.is_alive(ids[&2]));
+        idx.partition().check_consistency(&g).unwrap();
+        assert!(is_minimal_1index(&g, idx.partition()));
+        assert_eq!(idx.canonical(), OneIndex::build(&g).canonical());
+    }
+
+    /// The traced core drives several indexes over one graph in lockstep
+    /// and reports per-index stats in registration order.
+    #[test]
+    fn traced_core_fans_out_to_multiple_indexes() {
+        let (mut g, ids) = host();
+        let mut one = OneIndex::build(&g);
+        let mut ak = AkIndex::build(&g, 2);
+        let batch = vec![
+            UpdateOp::AddNode {
+                label: "person".into(),
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::Existing(ids[&1]),
+                to: NodeRef::New(0),
+                kind: EdgeKind::Child,
+            },
+            UpdateOp::InsertEdge {
+                from: NodeRef::New(0),
+                to: NodeRef::Existing(ids[&3]),
+                kind: EdgeKind::IdRef,
+            },
+        ];
+        let per_index = {
+            let mut views: [&mut dyn StructuralIndex; 2] = [&mut one, &mut ak];
+            let (_, per_index) = apply_batch_traced(&mut views, &mut g, &batch).unwrap();
+            per_index
+        };
+        assert_eq!(per_index.len(), 2);
+        assert_eq!(one.canonical(), OneIndex::build(&g).canonical());
+        assert_eq!(ak.canonical(), AkIndex::build(&g, 2).canonical());
     }
 }

@@ -1,0 +1,478 @@
+//! The single-writer [`UpdateEngine`] — one mutation pipeline for a
+//! graph and every structural index over it.
+//!
+//! The paper's algorithms are described per index, but a system keeps
+//! *several* indexes over one document (a 1-index for long paths, an
+//! A(k) for short ones, a baseline for comparison …). Before the engine,
+//! each caller had to mutate the graph once and remember to notify each
+//! index in the right order — easy to get wrong (mutate twice, notify
+//! before mutating, forget an index). The engine makes the invariant
+//! structural:
+//!
+//! * it **owns** the [`Graph`] — the only `&mut` path to it goes through
+//!   [`UpdateEngine::apply`] and friends, so every mutation is applied
+//!   exactly once;
+//! * registered [`StructuralIndex`] trait objects are notified in
+//!   registration order, after the graph change (the hook contract of
+//!   [`crate::index`]);
+//! * per-index cumulative [`UpdateStats`] and engine-wide
+//!   [`EngineStats`] (ops, splits, merges, touched blocks, latency) are
+//!   collected on every operation;
+//! * an optional per-index [`RebuildPolicy`] triggers the paper's
+//!   5 %-growth reconstruction through [`StructuralIndex::rebuild`],
+//!   with the time booked separately — exactly the accounting the
+//!   Section 7 experiments need.
+//!
+//! Node removal is decomposed the way Section 1 prescribes ("based on"
+//! edge deletion): the engine deletes each incident edge through the
+//! normal fan-out, then runs `on_node_removing` on every index, then
+//! removes the node from the graph.
+
+use crate::batch::{self, BatchError, BatchResult, UpdateOp};
+use crate::index::StructuralIndex;
+use crate::rebuild::RebuildPolicy;
+use crate::stats::UpdateStats;
+use std::time::{Duration, Instant};
+use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
+
+/// Handle to an index registered with an [`UpdateEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexHandle(usize);
+
+/// Engine-wide aggregate counters across all operations and indexes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Graph mutations applied (an edge op counts 1; a node removal
+    /// counts 1 plus one per incident edge deleted).
+    pub ops: usize,
+    /// Total block splits across all indexes.
+    pub splits: usize,
+    /// Total block merges across all indexes.
+    pub merges: usize,
+    /// Blocks touched by maintenance, summed over ops and indexes:
+    /// every split and merge touches one block, plus the updated node's
+    /// block for each non-no-op observation. (Derived from per-op
+    /// [`UpdateStats`]; no-op fast paths touch nothing.)
+    pub touched_blocks: usize,
+    /// Wall-clock time inside index maintenance hooks.
+    pub update_time: Duration,
+    /// Wall-clock time inside policy-triggered reconstructions.
+    pub rebuild_time: Duration,
+    /// Number of policy-triggered reconstructions.
+    pub rebuilds: usize,
+}
+
+impl EngineStats {
+    fn absorb_op(&mut self, s: &UpdateStats) {
+        self.splits += s.splits;
+        self.merges += s.merges;
+        self.touched_blocks += s.splits + s.merges + usize::from(!s.no_op);
+    }
+}
+
+struct Entry {
+    index: Box<dyn StructuralIndex>,
+    /// Cumulative stats since registration (absorbed per op).
+    stats: UpdateStats,
+    policy: Option<RebuildPolicy>,
+}
+
+/// Owns a [`Graph`] and fans every mutation out to its registered
+/// indexes. See the module docs for the design rationale.
+pub struct UpdateEngine {
+    g: Graph,
+    entries: Vec<Entry>,
+    stats: EngineStats,
+}
+
+impl UpdateEngine {
+    /// Wraps a graph. Indexes are registered afterwards so they can be
+    /// built against `engine.graph()`.
+    pub fn new(g: Graph) -> Self {
+        UpdateEngine {
+            g,
+            entries: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Registers an index (already built over this engine's graph).
+    pub fn register(&mut self, index: Box<dyn StructuralIndex>) -> IndexHandle {
+        self.register_inner(index, None)
+    }
+
+    /// Registers an index together with the 5 %-growth reconstruction
+    /// policy: after any operation that leaves the index more than the
+    /// threshold above its last-rebuilt size, the engine calls
+    /// [`StructuralIndex::rebuild`] and books the time separately.
+    pub fn register_with_policy(&mut self, index: Box<dyn StructuralIndex>) -> IndexHandle {
+        let policy = RebuildPolicy::new(index.block_count());
+        self.register_inner(index, Some(policy))
+    }
+
+    fn register_inner(
+        &mut self,
+        index: Box<dyn StructuralIndex>,
+        policy: Option<RebuildPolicy>,
+    ) -> IndexHandle {
+        debug_assert!(
+            index.check(&self.g).is_ok(),
+            "registered index inconsistent with the engine's graph"
+        );
+        self.entries.push(Entry {
+            index,
+            stats: UpdateStats::default(),
+            policy,
+        });
+        IndexHandle(self.entries.len() - 1)
+    }
+
+    /// Read access to the graph. There is intentionally no `&mut Graph`
+    /// accessor — mutations go through the engine.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Read access to a registered index.
+    // `index(&self, handle)` is the natural name for handle-based lookup;
+    // `std::ops::Index` cannot be implemented here because the return type
+    // is an unsized trait object behind a `Box` we must not expose.
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, h: IndexHandle) -> &dyn StructuralIndex {
+        &*self.entries[h.0].index
+    }
+
+    /// Cumulative per-index statistics since registration.
+    pub fn index_stats(&self, h: IndexHandle) -> &UpdateStats {
+        &self.entries[h.0].stats
+    }
+
+    /// Engine-wide aggregate counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of registered indexes.
+    pub fn index_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Disassembles the engine, returning the graph and the indexes
+    /// (registration order).
+    pub fn into_parts(self) -> (Graph, Vec<Box<dyn StructuralIndex>>) {
+        (self.g, self.entries.into_iter().map(|e| e.index).collect())
+    }
+
+    /// Adds a node and registers it with every index.
+    pub fn add_node(&mut self, label: &str, value: Option<String>) -> NodeId {
+        let n = self.g.add_node(label, value);
+        let t = Instant::now();
+        for e in &mut self.entries {
+            e.index.on_node_added(&self.g, n);
+        }
+        self.stats.update_time += t.elapsed();
+        self.stats.ops += 1;
+        n
+    }
+
+    /// Inserts an edge and fans the observation out. Returns the stats
+    /// aggregated over all indexes for this one operation.
+    pub fn insert_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        kind: EdgeKind,
+    ) -> Result<UpdateStats, GraphError> {
+        self.g.insert_edge(u, v, kind)?;
+        Ok(self.observe_edge(u, v, true))
+    }
+
+    /// Deletes an edge and fans the observation out. Returns the removed
+    /// edge's kind alongside the aggregated stats.
+    pub fn delete_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<(UpdateStats, EdgeKind), GraphError> {
+        let kind = self.g.delete_edge(u, v)?;
+        Ok((self.observe_edge(u, v, false), kind))
+    }
+
+    /// Removes a node: deletes each incident edge through the normal
+    /// fan-out (parents first, then children), notifies
+    /// `on_node_removing`, then removes the node from the graph.
+    pub fn remove_node(&mut self, n: NodeId) -> Result<UpdateStats, GraphError> {
+        if !self.g.is_alive(n) {
+            return Err(GraphError::DeadNode(n));
+        }
+        if n == self.g.root() {
+            // Reject before touching anything: the graph would refuse the
+            // final removal, and by then edges would already be gone.
+            return Err(GraphError::RootViolation);
+        }
+        let mut total = UpdateStats {
+            no_op: false,
+            ..UpdateStats::default()
+        };
+        let parents: Vec<NodeId> = self.g.pred(n).collect();
+        for p in parents {
+            let (s, _) = self.delete_edge(p, n)?;
+            total.absorb(&s);
+        }
+        let children: Vec<NodeId> = self.g.succ(n).collect();
+        for c in children {
+            let (s, _) = self.delete_edge(n, c)?;
+            total.absorb(&s);
+        }
+        let t = Instant::now();
+        for e in &mut self.entries {
+            e.index.on_node_removing(&self.g, n);
+        }
+        self.stats.update_time += t.elapsed();
+        self.g.remove_node(n)?;
+        self.stats.ops += 1;
+        Ok(total)
+    }
+
+    /// Applies one [`UpdateOp`]. `AddNode` ids are returned through the
+    /// result's `created`; use [`UpdateEngine::apply_batch`] when ops
+    /// reference each other's new nodes.
+    pub fn apply(&mut self, op: &UpdateOp) -> Result<BatchResult, BatchError> {
+        self.apply_batch(std::slice::from_ref(op))
+    }
+
+    /// Applies a batch through the shared phase-ordered batch machinery
+    /// (validate → add nodes → insert edges → delete edges → remove
+    /// nodes), fanning every mutation out to all registered indexes.
+    pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<BatchResult, BatchError> {
+        // Split-borrow: the batch core needs &mut Graph plus the index
+        // trait objects; reassemble the per-index stats afterwards.
+        let t = Instant::now();
+        let (result, per_index) = {
+            let mut views: Vec<&mut dyn StructuralIndex> = Vec::with_capacity(self.entries.len());
+            for e in &mut self.entries {
+                views.push(e.index.as_mut());
+            }
+            batch::apply_batch_traced(&mut views, &mut self.g, ops)?
+        };
+        self.stats.update_time += t.elapsed();
+        self.stats.ops += result.ops_applied;
+        for (e, s) in self.entries.iter_mut().zip(&per_index) {
+            e.stats.absorb(s);
+            self.stats.absorb_op(s);
+        }
+        self.run_policies();
+        Ok(result)
+    }
+
+    /// Consistency check of every registered index against the graph.
+    pub fn check(&self) -> Result<(), String> {
+        for e in &self.entries {
+            e.index
+                .check(&self.g)
+                .map_err(|err| format!("{}: {err}", e.index.describe()))?;
+        }
+        Ok(())
+    }
+
+    /// Fan-out for an edge observation already applied to the graph.
+    fn observe_edge(&mut self, u: NodeId, v: NodeId, inserted: bool) -> UpdateStats {
+        let t = Instant::now();
+        let mut total = UpdateStats::default();
+        let mut first = true;
+        for e in &mut self.entries {
+            let s = if inserted {
+                e.index.on_edge_inserted(&self.g, u, v)
+            } else {
+                e.index.on_edge_deleted(&self.g, u, v)
+            };
+            e.stats.absorb(&s);
+            self.stats.absorb_op(&s);
+            if first {
+                total = s;
+                first = false;
+            } else {
+                total.absorb(&s);
+            }
+        }
+        self.stats.update_time += t.elapsed();
+        self.stats.ops += 1;
+        self.run_policies();
+        total
+    }
+
+    /// Triggers policy-driven reconstructions where the growth threshold
+    /// is exceeded.
+    fn run_policies(&mut self) {
+        for e in &mut self.entries {
+            if let Some(policy) = &mut e.policy {
+                if policy.should_rebuild(e.index.block_count()) {
+                    let t = Instant::now();
+                    e.index.rebuild(&self.g);
+                    self.stats.rebuild_time += t.elapsed();
+                    self.stats.rebuilds += 1;
+                    policy.on_rebuilt(e.index.block_count());
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for UpdateEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateEngine")
+            .field("nodes", &self.g.node_count())
+            .field("edges", &self.g.edge_count())
+            .field(
+                "indexes",
+                &self
+                    .entries
+                    .iter()
+                    .map(|e| e.index.describe())
+                    .collect::<Vec<_>>(),
+            )
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_minimal_1index;
+    use crate::index::PropagateOneIndex;
+    use crate::{AkIndex, OneIndex, SimpleAkIndex};
+    use xsi_graph::GraphBuilder;
+
+    fn host() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+        GraphBuilder::new()
+            .nodes(&[(1, "site"), (2, "person"), (3, "person"), (4, "auction")])
+            .edges(&[(1, 2), (1, 3), (1, 4)])
+            .idref_edges(&[(4, 2)])
+            .root_to(1)
+            .build_with_ids()
+    }
+
+    #[test]
+    fn engine_maintains_two_index_families_at_once() {
+        let (g, ids) = host();
+        let one = OneIndex::build(&g);
+        let ak = AkIndex::build(&g, 2);
+        let mut engine = UpdateEngine::new(g);
+        let h1 = engine.register(Box::new(one));
+        let h2 = engine.register(Box::new(ak));
+        assert_eq!(engine.index_count(), 2);
+
+        engine.delete_edge(ids[&4], ids[&2]).unwrap();
+        engine
+            .insert_edge(ids[&4], ids[&3], EdgeKind::IdRef)
+            .unwrap();
+        let n = engine.add_node("bid", None);
+        engine.insert_edge(ids[&4], n, EdgeKind::Child).unwrap();
+        engine.check().unwrap();
+
+        // Both indexes land exactly on a from-scratch rebuild, and the
+        // engine collected aggregate stats across both families.
+        assert_eq!(
+            engine.index(h1).block_count(),
+            OneIndex::build(engine.graph()).block_count()
+        );
+        assert_eq!(
+            engine.index(h2).block_count(),
+            AkIndex::build(engine.graph(), 2).block_count()
+        );
+        assert_eq!(engine.stats().ops, 4);
+        assert!(engine.stats().touched_blocks > 0);
+    }
+
+    #[test]
+    fn engine_equals_sequential_per_index_maintenance() {
+        let (g0, ids) = host();
+        // Engine path.
+        let mut engine = UpdateEngine::new(g0.clone());
+        let h_one = engine.register(Box::new(OneIndex::build(&g0)));
+        let h_ak = engine.register(Box::new(AkIndex::build(&g0, 2)));
+        // Sequential path.
+        let mut g = g0.clone();
+        let mut one = OneIndex::build(&g);
+        let mut ak = AkIndex::build(&g, 2);
+
+        let steps = [(4u64, 3u64, true), (4, 2, false), (1, 2, false)];
+        for &(a, b, insert) in &steps {
+            if insert {
+                engine
+                    .insert_edge(ids[&a], ids[&b], EdgeKind::IdRef)
+                    .unwrap();
+                g.insert_edge(ids[&a], ids[&b], EdgeKind::IdRef).unwrap();
+                one.notify_edge_inserted(&g, ids[&a], ids[&b]);
+                ak.notify_edge_inserted(&g, ids[&a], ids[&b]);
+            } else {
+                engine.delete_edge(ids[&a], ids[&b]).unwrap();
+                g.delete_edge(ids[&a], ids[&b]).unwrap();
+                one.notify_edge_deleted(&g, ids[&a], ids[&b]);
+                ak.notify_edge_deleted(&g, ids[&a], ids[&b]);
+            }
+        }
+        engine.check().unwrap();
+        assert_eq!(engine.index(h_one).block_count(), one.block_count());
+        assert_eq!(engine.index(h_ak).block_count(), ak.block_count());
+        assert!(is_minimal_1index(engine.graph(), one.partition()));
+    }
+
+    #[test]
+    fn node_removal_decomposes_into_edge_deletions() {
+        let (g, ids) = host();
+        let edges_of_2 = g.in_degree(ids[&2]) + g.out_degree(ids[&2]);
+        let mut engine = UpdateEngine::new(g);
+        let h = engine.register(Box::new(OneIndex::build(engine.graph())));
+        let ops_before = engine.stats().ops;
+        engine.remove_node(ids[&2]).unwrap();
+        // One op per incident edge + the removal itself.
+        assert_eq!(engine.stats().ops - ops_before, edges_of_2 + 1);
+        engine.check().unwrap();
+        assert!(!engine.graph().is_alive(ids[&2]));
+        assert_eq!(
+            engine.index(h).block_count(),
+            OneIndex::build(engine.graph()).block_count()
+        );
+    }
+
+    #[test]
+    fn policy_rebuild_bounds_baseline_drift() {
+        let (g, ids) = host();
+        let mut engine = UpdateEngine::new(g);
+        let h = engine.register_with_policy(Box::new(PropagateOneIndex::build(engine.graph())));
+        // Toggle edges until propagate drift would exceed 5 %.
+        for _ in 0..6 {
+            engine.delete_edge(ids[&4], ids[&2]).unwrap();
+            engine
+                .insert_edge(ids[&4], ids[&2], EdgeKind::IdRef)
+                .unwrap();
+        }
+        let minimum = engine.index(h).minimum_block_count(engine.graph());
+        let size = engine.index(h).block_count();
+        assert!(
+            (size as f64) <= (minimum as f64) * 1.05 + 1.0,
+            "policy failed to bound drift: {size} vs minimum {minimum}"
+        );
+        engine.check().unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate_across_indexes() {
+        let (g, ids) = host();
+        let mut engine = UpdateEngine::new(g);
+        let h_one = engine.register(Box::new(OneIndex::build(engine.graph())));
+        let _h_sim = engine.register(Box::new(SimpleAkIndex::build(engine.graph(), 2)));
+        engine.delete_edge(ids[&4], ids[&2]).unwrap();
+        engine
+            .insert_edge(ids[&4], ids[&3], EdgeKind::IdRef)
+            .unwrap();
+        assert_eq!(engine.stats().ops, 2);
+        assert!(engine.stats().update_time > Duration::ZERO);
+        // Per-index stats recorded (the 1-index split on the asymmetric
+        // IDREF change).
+        assert!(engine.index_stats(h_one).splits + engine.index_stats(h_one).merges > 0);
+        assert!(engine.stats().touched_blocks > 0);
+    }
+}

@@ -25,7 +25,18 @@
 //!   [`rebuild`]-on-5 %-growth heuristic both baselines rely on;
 //! * [`mod@reference`] oracles (naive fixpoint (k-)bisimulation) and
 //!   [`check`]ers (validity, minimality) used by the test suite and the
-//!   experiment harness.
+//!   experiment harness;
+//! * the [`StructuralIndex`] trait — one object-safe maintenance interface
+//!   implemented by every index family above (plus the
+//!   [`PropagateOneIndex`] baseline wrapper), with post-mutation observer
+//!   hooks, a uniform [`rebuild`](StructuralIndex::rebuild) entry point,
+//!   optional [`IndexQueryView`] for index-assisted query evaluation, and a
+//!   trait-level consistency [`check`](StructuralIndex::check);
+//! * the single-writer [`UpdateEngine`] — owns the [`Graph`](xsi_graph::Graph),
+//!   applies each [`UpdateOp`] exactly once, and fans the notification out
+//!   to all registered indexes, so several index families stay maintained
+//!   over the same graph simultaneously with per-index [`UpdateStats`] and
+//!   aggregate [`EngineStats`], plus policy-driven rebuilds.
 //!
 //! ```
 //! use xsi_graph::{Graph, EdgeKind};
@@ -55,6 +66,8 @@
 pub mod akindex;
 pub mod batch;
 pub mod check;
+pub mod engine;
+pub mod index;
 pub mod oneindex;
 pub mod partition;
 pub mod rebuild;
@@ -63,8 +76,13 @@ pub mod snapshot;
 pub mod stats;
 
 pub use akindex::{AkIndex, SimpleAkIndex};
-pub use batch::{apply_batch_1index, apply_batch_ak, BatchError, BatchResult, NodeRef, UpdateOp};
+pub use batch::{
+    apply_batch, apply_batch_1index, apply_batch_ak, apply_batch_traced, BatchError, BatchResult,
+    NodeRef, UpdateOp,
+};
 pub use check::{is_minimal_1index, is_valid_1index, is_valid_ak_chain};
+pub use engine::{EngineStats, IndexHandle, UpdateEngine};
+pub use index::{IndexQueryView, PropagateOneIndex, StructuralIndex};
 pub use oneindex::OneIndex;
 pub use partition::{BlockId, Partition};
 pub use stats::UpdateStats;

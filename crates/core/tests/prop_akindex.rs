@@ -1,13 +1,15 @@
-//! Property-based tests for the A(k)-index: Theorem 2 says the split/merge
+//! Randomized tests for the A(k)-index: Theorem 2 says the split/merge
 //! algorithm maintains the unique **minimum** A(0)..A(k) chain on *any*
 //! data graph — so after every random update the maintained chain must be
 //! partition-identical to a from-scratch rebuild, level by level.
+//!
+//! Driven by the in-repo seeded PRNG so tier-1 runs fully offline.
 
-use proptest::prelude::*;
 use xsi_core::check::{ak_chain_violation, is_valid_ak_chain};
 use xsi_core::reference;
 use xsi_core::{AkIndex, SimpleAkIndex};
 use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_workload::SplitMix64;
 
 #[derive(Debug, Clone)]
 struct Spec {
@@ -17,20 +19,27 @@ struct Spec {
     k: usize,
 }
 
-fn spec(max_nodes: usize, max_edges: usize, max_toggles: usize) -> impl Strategy<Value = Spec> {
-    (2..=max_nodes, 0usize..=4).prop_flat_map(move |(n, k)| {
-        (
-            proptest::collection::vec(0u8..3, n),
-            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
-            proptest::collection::vec(0..(n * n), 1..=max_toggles),
-        )
-            .prop_map(move |(labels, edges, toggles)| Spec {
-                labels,
-                edges,
-                toggles,
-                k,
-            })
-    })
+fn random_spec(
+    rng: &mut SplitMix64,
+    max_nodes: usize,
+    max_edges: usize,
+    max_toggles: usize,
+) -> Spec {
+    let n = rng.random_range(2..=max_nodes);
+    let k = rng.random_range(0..=4usize);
+    let labels = (0..n).map(|_| rng.random_range(0..3usize) as u8).collect();
+    let edges = (0..rng.random_range(0..=max_edges))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    let toggles = (0..rng.random_range(1..=max_toggles))
+        .map(|_| rng.random_range(0..n * n))
+        .collect();
+    Spec {
+        labels,
+        edges,
+        toggles,
+        k,
+    }
 }
 
 fn build_graph(spec: &Spec) -> (Graph, Vec<NodeId>) {
@@ -72,21 +81,25 @@ fn assert_minimum_chain(g: &Graph, idx: &AkIndex) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
-
-    /// Construction equals the oracle chain at every level.
-    #[test]
-    fn construction_matches_oracle(s in spec(8, 18, 1)) {
+/// Construction equals the oracle chain at every level.
+#[test]
+fn construction_matches_oracle() {
+    for case in 0..160u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x1A4B + case);
+        let s = random_spec(&mut rng, 8, 18, 1);
         let (g, _) = build_graph(&s);
         let idx = AkIndex::build(&g, s.k);
         assert_minimum_chain(&g, &idx);
     }
+}
 
-    /// Random edge toggles: the maintained chain stays the minimum chain
-    /// (Theorem 2) on arbitrary, possibly cyclic graphs.
-    #[test]
-    fn updates_maintain_minimum_chain(s in spec(7, 10, 16)) {
+/// Random edge toggles: the maintained chain stays the minimum chain
+/// (Theorem 2) on arbitrary, possibly cyclic graphs.
+#[test]
+fn updates_maintain_minimum_chain() {
+    for case in 0..160u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x2A4B + case);
+        let s = random_spec(&mut rng, 7, 10, 16);
         let (mut g, nodes) = build_graph(&s);
         let mut idx = AkIndex::build(&g, s.k);
         let n = nodes.len();
@@ -103,11 +116,15 @@ proptest! {
             assert_minimum_chain(&g, &idx);
         }
     }
+}
 
-    /// The simple baseline is always a refinement of the minimum (safe),
-    /// never smaller than it, and a rebuild lands exactly on the minimum.
-    #[test]
-    fn simple_baseline_is_safe(s in spec(7, 10, 12)) {
+/// The simple baseline is always a refinement of the minimum (safe),
+/// never smaller than it, and a rebuild lands exactly on the minimum.
+#[test]
+fn simple_baseline_is_safe() {
+    for case in 0..160u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x3A4B + case);
+        let s = random_spec(&mut rng, 7, 10, 12);
         let (mut g, nodes) = build_graph(&s);
         let mut simple = SimpleAkIndex::build(&g, s.k);
         let n = nodes.len();
@@ -123,27 +140,34 @@ proptest! {
             }
             let oracle = reference::k_bisim_chain(&g, s.k).pop().unwrap();
             let min_size = reference::partition_size(&g, &oracle);
-            prop_assert!(simple.block_count() >= min_size);
+            assert!(simple.block_count() >= min_size, "case {case}");
             // Refinement check: same simple block ⇒ same oracle class.
             let sa = simple.assignment(&g);
             let mut map = std::collections::HashMap::new();
             for w in g.nodes() {
                 let e = map.entry(sa[w.index()]).or_insert(oracle[w.index()]);
-                prop_assert_eq!(*e, oracle[w.index()], "not a refinement");
+                assert_eq!(*e, oracle[w.index()], "case {case}: not a refinement");
             }
         }
         let rebuilt = SimpleAkIndex::build(&g, s.k);
         let oracle = reference::k_bisim_chain(&g, s.k).pop().unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             rebuilt.canonical(&g),
-            reference::canonical_partition(&g, &oracle)
+            reference::canonical_partition(&g, &oracle),
+            "case {case}"
         );
     }
+}
 
-    /// Mixed node + edge life cycle: add a node, wire it, unwire it,
-    /// remove it — the chain must return to its original partition.
-    #[test]
-    fn node_lifecycle_round_trip(s in spec(6, 8, 1), label in 0u8..3, attach in 0usize..6) {
+/// Mixed node + edge life cycle: add a node, wire it, unwire it,
+/// remove it — the chain must return to its original partition.
+#[test]
+fn node_lifecycle_round_trip() {
+    for case in 0..160u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x4A4B + case);
+        let s = random_spec(&mut rng, 6, 8, 1);
+        let label = rng.random_range(0..3usize) as u8;
+        let attach = rng.random_range(0..6usize);
         let (mut g, nodes) = build_graph(&s);
         let mut idx = AkIndex::build(&g, s.k);
         let before = idx.canonical();
@@ -152,12 +176,13 @@ proptest! {
         idx.on_node_added(&g, fresh);
         assert_minimum_chain(&g, &idx);
         let anchor = nodes[attach % nodes.len()];
-        idx.insert_edge(&mut g, anchor, fresh, EdgeKind::Child).unwrap();
+        idx.insert_edge(&mut g, anchor, fresh, EdgeKind::Child)
+            .unwrap();
         assert_minimum_chain(&g, &idx);
         idx.delete_edge(&mut g, anchor, fresh).unwrap();
         assert_minimum_chain(&g, &idx);
         idx.on_node_removing(&g, fresh);
         g.remove_node(fresh).unwrap();
-        prop_assert_eq!(idx.canonical(), before);
+        assert_eq!(idx.canonical(), before, "case {case}");
     }
 }

@@ -1,4 +1,4 @@
-//! Property-based tests: the 1-index split/merge maintenance versus the
+//! Randomized tests: the 1-index split/merge maintenance versus the
 //! naive fixpoint oracle, on randomized graphs and update sequences.
 //!
 //! These encode the paper's theorems directly:
@@ -6,12 +6,14 @@
 //!   valid, **minimal** 1-index;
 //! * Theorem 1 (acyclic clause): on DAGs the maintained index *equals*
 //!   the unique minimum 1-index (the oracle's fixpoint partition).
+//!
+//! Driven by the in-repo seeded PRNG so tier-1 runs fully offline.
 
-use proptest::prelude::*;
 use xsi_core::check::{is_valid_1index, minimality_violation};
 use xsi_core::reference;
 use xsi_core::OneIndex;
 use xsi_graph::{is_acyclic, EdgeKind, Graph, NodeId};
+use xsi_workload::SplitMix64;
 
 /// A small random graph description: node labels from a tiny alphabet and
 /// candidate edges as (from, to) index pairs.
@@ -23,23 +25,25 @@ struct RandomGraphSpec {
     toggles: Vec<usize>,
 }
 
-fn spec_strategy(
+fn random_spec(
+    rng: &mut SplitMix64,
     max_nodes: usize,
     max_edges: usize,
     max_toggles: usize,
-) -> impl Strategy<Value = RandomGraphSpec> {
-    (2..=max_nodes).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec(0u8..4, n),
-            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
-            proptest::collection::vec(0..(n * n), 1..=max_toggles),
-        )
-            .prop_map(|(labels, edges, toggles)| RandomGraphSpec {
-                labels,
-                edges,
-                toggles,
-            })
-    })
+) -> RandomGraphSpec {
+    let n = rng.random_range(2..=max_nodes);
+    let labels = (0..n).map(|_| rng.random_range(0..4usize) as u8).collect();
+    let edges = (0..rng.random_range(0..=max_edges))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    let toggles = (0..rng.random_range(1..=max_toggles))
+        .map(|_| rng.random_range(0..n * n))
+        .collect();
+    RandomGraphSpec {
+        labels,
+        edges,
+        toggles,
+    }
 }
 
 /// Materializes the spec: nodes (each connected from the root so the graph
@@ -83,23 +87,31 @@ fn assert_minimal_and_tracking(g: &Graph, idx: &OneIndex) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Construction matches the oracle on arbitrary (cyclic) graphs.
-    #[test]
-    fn construction_matches_oracle(spec in spec_strategy(8, 20, 1)) {
+/// Construction matches the oracle on arbitrary (cyclic) graphs.
+#[test]
+fn construction_matches_oracle() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x1C0D + case);
+        let spec = random_spec(&mut rng, 8, 20, 1);
         let (g, _) = build_graph(&spec);
         let idx = OneIndex::build(&g);
         idx.partition().check_consistency(&g).unwrap();
         let classes = reference::bisim_classes(&g);
-        prop_assert_eq!(idx.canonical(), reference::canonical_partition(&g, &classes));
+        assert_eq!(
+            idx.canonical(),
+            reference::canonical_partition(&g, &classes),
+            "case {case}"
+        );
     }
+}
 
-    /// Toggling random edges (insert if absent, delete if present) keeps
-    /// the maintained index minimal, and minimum on DAGs.
-    #[test]
-    fn updates_preserve_minimality(spec in spec_strategy(7, 12, 24)) {
+/// Toggling random edges (insert if absent, delete if present) keeps
+/// the maintained index minimal, and minimum on DAGs.
+#[test]
+fn updates_preserve_minimality() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x2C0D + case);
+        let spec = random_spec(&mut rng, 7, 12, 24);
         let (mut g, nodes) = build_graph(&spec);
         let mut idx = OneIndex::build(&g);
         let n = nodes.len();
@@ -118,12 +130,16 @@ proptest! {
             assert_minimal_and_tracking(&g, &idx);
         }
     }
+}
 
-    /// Propagate (split-only) always keeps the index *valid*, and a final
-    /// merge-capable update sequence... propagate's guarantee is only
-    /// safety: verify validity after every toggle.
-    #[test]
-    fn propagate_preserves_validity(spec in spec_strategy(7, 12, 16)) {
+/// Propagate (split-only) always keeps the index *valid*, and a final
+/// merge-capable update sequence... propagate's guarantee is only
+/// safety: verify validity after every toggle.
+#[test]
+fn propagate_preserves_validity() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x3C0D + case);
+        let spec = random_spec(&mut rng, 7, 12, 16);
         let (mut g, nodes) = build_graph(&spec);
         let mut idx = OneIndex::build(&g);
         let n = nodes.len();
@@ -135,20 +151,26 @@ proptest! {
             if g.has_edge(u, v) {
                 idx.propagate_delete_edge(&mut g, u, v).unwrap();
             } else {
-                idx.propagate_insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap();
+                idx.propagate_insert_edge(&mut g, u, v, EdgeKind::IdRef)
+                    .unwrap();
             }
             idx.partition().check_consistency(&g).unwrap();
-            prop_assert!(is_valid_1index(&g, idx.partition()));
+            assert!(is_valid_1index(&g, idx.partition()), "case {case}");
             // Propagate never drops below the minimum size.
             let min = reference::partition_size(&g, &reference::bisim_classes(&g));
-            prop_assert!(idx.block_count() >= min);
+            assert!(idx.block_count() >= min, "case {case}");
         }
     }
+}
 
-    /// Subgraph round-trip: extracting, removing and re-adding a random
-    /// subtree preserves index minimality (Corollary 1).
-    #[test]
-    fn subgraph_removal_and_addition(spec in spec_strategy(8, 16, 1), pick in 0usize..8) {
+/// Subgraph round-trip: extracting, removing and re-adding a random
+/// subtree preserves index minimality (Corollary 1).
+#[test]
+fn subgraph_removal_and_addition() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x4C0D + case);
+        let spec = random_spec(&mut rng, 8, 16, 1);
+        let pick = rng.random_range(0..8usize);
         let (mut g, nodes) = build_graph(&spec);
         let mut idx = OneIndex::build(&g);
         let root_pick = nodes[pick % nodes.len()];

@@ -1,11 +1,12 @@
-//! Model-based property tests for the graph substrate: a random sequence
-//! of mutations is applied both to the [`Graph`] and to a trivially
-//! correct shadow model (hash sets); after every step the two must agree
-//! and the graph's internal invariants must hold.
+//! Model-based randomized tests for the graph substrate: a seeded PRNG
+//! (no registry deps — see `xsi_workload::rng`) drives a random sequence
+//! of mutations applied both to the [`Graph`] and to a trivially correct
+//! shadow model (hash sets); after every step the two must agree and the
+//! graph's internal invariants must hold.
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
+use xsi_workload::SplitMix64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,18 +17,35 @@ enum Op {
     SetValue(usize, Option<String>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4).prop_map(Op::AddNode),
-        (0usize..24).prop_map(Op::RemoveNode),
-        (0usize..24, 0usize..24, any::<bool>()).prop_map(|(u, v, k)| Op::InsertEdge(u, v, k)),
-        (0usize..24, 0usize..24).prop_map(|(u, v)| Op::DeleteEdge(u, v)),
-        (
-            0usize..24,
-            proptest::option::of(proptest::string::string_regex("[a-z]{0,6}").unwrap())
-        )
-            .prop_map(|(n, v)| Op::SetValue(n, v)),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.random_range(0..5usize) {
+        0 => Op::AddNode(rng.random_range(0..4usize) as u8),
+        1 => Op::RemoveNode(rng.random_range(0..24usize)),
+        2 => Op::InsertEdge(
+            rng.random_range(0..24usize),
+            rng.random_range(0..24usize),
+            rng.random_bool(0.5),
+        ),
+        3 => Op::DeleteEdge(rng.random_range(0..24usize), rng.random_range(0..24usize)),
+        _ => {
+            let value = if rng.random_bool(0.5) {
+                let len = rng.random_range(0..=6usize);
+                Some(
+                    (0..len)
+                        .map(|_| (b'a' + rng.random_range(0..26usize) as u8) as char)
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            Op::SetValue(rng.random_range(0..24usize), value)
+        }
+    }
+}
+
+fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
+    let len = rng.random_range(1..=max_len);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 #[derive(Default)]
@@ -36,12 +54,12 @@ struct Model {
     edges: HashSet<(NodeId, NodeId)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn graph_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let labels = ["w", "x", "y", "z"];
+#[test]
+fn graph_agrees_with_model() {
+    let labels = ["w", "x", "y", "z"];
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x6A11 + case);
+        let ops = random_ops(&mut rng, 60);
         let mut g = Graph::new();
         let mut model = Model::default();
         model.nodes.insert(g.root(), ("ROOT".into(), None));
@@ -61,15 +79,19 @@ proptest! {
                         && !model.edges.iter().any(|&(a, b)| a == n || b == n);
                     let res = g.remove_node(n);
                     if removable {
-                        prop_assert!(res.is_ok());
+                        assert!(res.is_ok(), "case {case}: {res:?}");
                         model.nodes.remove(&n);
                     } else {
-                        prop_assert!(res.is_err());
+                        assert!(res.is_err(), "case {case}");
                     }
                 }
                 Op::InsertEdge(i, j, kind) => {
                     let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
-                    let kind = if *kind { EdgeKind::IdRef } else { EdgeKind::Child };
+                    let kind = if *kind {
+                        EdgeKind::IdRef
+                    } else {
+                        EdgeKind::Child
+                    };
                     let legal = model.nodes.contains_key(&u)
                         && model.nodes.contains_key(&v)
                         && u != v
@@ -77,20 +99,20 @@ proptest! {
                         && !model.edges.contains(&(u, v));
                     let res = g.insert_edge(u, v, kind);
                     if legal {
-                        prop_assert!(res.is_ok(), "{res:?}");
+                        assert!(res.is_ok(), "case {case}: {res:?}");
                         model.edges.insert((u, v));
                     } else {
-                        prop_assert!(res.is_err());
+                        assert!(res.is_err(), "case {case}");
                     }
                 }
                 Op::DeleteEdge(i, j) => {
                     let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
                     let res = g.delete_edge(u, v);
                     if model.edges.contains(&(u, v)) {
-                        prop_assert!(res.is_ok());
+                        assert!(res.is_ok(), "case {case}");
                         model.edges.remove(&(u, v));
                     } else {
-                        prop_assert_eq!(res, Err(GraphError::MissingEdge(u, v)));
+                        assert_eq!(res, Err(GraphError::MissingEdge(u, v)), "case {case}");
                     }
                 }
                 Op::SetValue(i, value) => {
@@ -102,28 +124,30 @@ proptest! {
                 }
             }
             // Invariants after every step.
-            g.check_consistency().map_err(|e| {
-                TestCaseError::fail(format!("consistency: {e}"))
-            })?;
-            prop_assert_eq!(g.node_count(), model.nodes.len());
-            prop_assert_eq!(g.edge_count(), model.edges.len());
+            g.check_consistency()
+                .unwrap_or_else(|e| panic!("case {case} consistency: {e}"));
+            assert_eq!(g.node_count(), model.nodes.len(), "case {case}");
+            assert_eq!(g.edge_count(), model.edges.len(), "case {case}");
         }
 
         // Final deep comparison.
         for (&n, (label, value)) in &model.nodes {
-            prop_assert!(g.is_alive(n));
-            prop_assert_eq!(g.label_name(n), label.as_str());
-            prop_assert_eq!(g.value(n), value.as_deref());
+            assert!(g.is_alive(n));
+            assert_eq!(g.label_name(n), label.as_str());
+            assert_eq!(g.value(n), value.as_deref());
         }
-        let graph_edges: HashSet<(NodeId, NodeId)> =
-            g.edges().map(|(u, v, _)| (u, v)).collect();
-        prop_assert_eq!(graph_edges, model.edges);
+        let graph_edges: HashSet<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(graph_edges, model.edges, "case {case}");
     }
+}
 
-    /// Adjacency symmetry: succ and pred views always mirror each other.
-    #[test]
-    fn adjacency_views_mirror(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let labels = ["w", "x", "y", "z"];
+/// Adjacency symmetry: succ and pred views always mirror each other.
+#[test]
+fn adjacency_views_mirror() {
+    let labels = ["w", "x", "y", "z"];
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xAD1A + case);
+        let ops = random_ops(&mut rng, 40);
         let mut g = Graph::new();
         let mut handles: Vec<NodeId> = vec![g.root()];
         for op in &ops {
@@ -142,14 +166,14 @@ proptest! {
         }
         for u in g.nodes() {
             for v in g.succ(u) {
-                prop_assert!(g.pred(v).any(|p| p == u));
-                prop_assert!(g.has_edge(u, v));
+                assert!(g.pred(v).any(|p| p == u), "case {case}");
+                assert!(g.has_edge(u, v), "case {case}");
             }
             for p in g.pred(u) {
-                prop_assert!(g.succ(p).any(|c| c == u));
+                assert!(g.succ(p).any(|c| c == u), "case {case}");
             }
-            prop_assert_eq!(g.out_degree(u), g.succ(u).count());
-            prop_assert_eq!(g.in_degree(u), g.pred(u).count());
+            assert_eq!(g.out_degree(u), g.succ(u).count(), "case {case}");
+            assert_eq!(g.in_degree(u), g.pred(u).count(), "case {case}");
         }
     }
 }

@@ -1,18 +1,22 @@
 //! Path evaluation engines: direct on the data graph, and index-assisted
-//! over 1-index / A(k)-index iedges.
+//! over any [`IndexQueryView`] (1-index and A(k)-index iedges alike).
+//!
+//! Since the [`xsi_core::StructuralIndex`] refactor there is exactly
+//! **one** block-level walk, [`eval_index_raw`], shared by every index
+//! family; [`eval_index`] wraps it with the automatic validation pass
+//! driven by the view's declared precision horizon
+//! ([`IndexQueryView::precise_up_to`]). The per-index entry points
+//! ([`eval_one_index`], [`eval_ak_index`], [`crate::eval_ak_validated`])
+//! are thin wrappers.
 //!
 //! Predicates (`/a[b]/c`) are evaluated inline during direct evaluation.
 //! Index traversals ignore them (an inode cannot decide a per-node
-//! subtree condition — bisimilarity looks at *incoming* paths only), so:
-//!
-//! * [`eval_one_index`] runs a validation pass when the expression has
-//!   predicates, keeping its exactness contract;
-//! * [`eval_ak_index`] stays a raw superset; use
-//!   [`crate::eval_ak_validated`] for exact answers.
+//! subtree condition — bisimilarity looks at *incoming* paths only), so
+//! a predicated expression always triggers validation in [`eval_index`].
 
 use crate::expr::{Axis, PathExpr, RelativePath, Step, Test};
 use std::collections::HashSet;
-use xsi_core::{AkIndex, OneIndex};
+use xsi_core::{AkIndex, IndexQueryView, OneIndex, StructuralIndex};
 use xsi_graph::{Graph, NodeId};
 
 pub(crate) fn node_matches(g: &Graph, n: NodeId, test: &Test) -> bool {
@@ -166,52 +170,71 @@ pub fn eval_one_index_blocks(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> Vec<
     out
 }
 
-/// Evaluates `expr` over the 1-index: runs the path on the index graph
-/// and unions the extents of matching inodes. *Exact* for every
-/// expression this crate parses: linear paths are answered precisely by
-/// the bisimulation quotient, and predicated paths trigger an automatic
-/// validation pass.
-pub fn eval_one_index(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> Vec<NodeId> {
+/// Evaluates `expr` over any index's [`IndexQueryView`]: runs the path
+/// on the iedge graph and unions the extents of matching blocks. Always
+/// *safe* (a superset of the true answer); precise exactly when the
+/// view's precision horizon covers the path and the expression has no
+/// predicates — see [`eval_index`] for the exact variant.
+pub fn eval_index_raw(view: &dyn IndexQueryView, expr: &PathExpr) -> Vec<NodeId> {
     let matched = eval_blocks(
-        idx.block_of(g.root()),
+        view.start_block(),
         expr.steps(),
-        |b| idx.isucc(b).collect(),
+        |b| view.isucc(b),
         |b, test| match test {
             Test::Any => true,
-            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
+            Test::Label(name) => view.label_name(b) == name.as_str(),
         },
     );
-    let mut out: Vec<NodeId> = matched
-        .into_iter()
-        .flat_map(|b| idx.extent(b).iter().copied())
-        .collect();
+    let mut out: Vec<NodeId> = matched.into_iter().flat_map(|b| view.extent(b)).collect();
     out.sort_unstable();
-    if expr.has_predicates() {
-        return crate::validate::validate(g, expr, &out);
-    }
     out
+}
+
+/// Whether the raw block-walk answer needs the data-graph validation
+/// pass: predicated expressions always do (bisimilarity cannot decide a
+/// subtree condition), and linear paths do whenever they may exceed the
+/// view's declared precision horizon.
+fn needs_validation(view: &dyn IndexQueryView, expr: &PathExpr) -> bool {
+    if expr.has_predicates() {
+        return true;
+    }
+    match view.precise_up_to() {
+        None => false, // 1-index: every linear path is exact
+        Some(k) => expr.max_length().is_none_or(|l| l > k),
+    }
+}
+
+/// *Exact* evaluation over any index's [`IndexQueryView`]: the raw block
+/// walk of [`eval_index_raw`], plus the paper's validation pass exactly
+/// when the view's precision horizon does not cover the expression. This
+/// is the single index-evaluation path; the per-family entry points wrap
+/// it.
+pub fn eval_index(g: &Graph, view: &dyn IndexQueryView, expr: &PathExpr) -> Vec<NodeId> {
+    let out = eval_index_raw(view, expr);
+    if needs_validation(view, expr) {
+        crate::validate::validate(g, expr, &out)
+    } else {
+        out
+    }
+}
+
+/// Evaluates `expr` over the 1-index. *Exact* for every expression this
+/// crate parses: linear paths are answered precisely by the bisimulation
+/// quotient, and predicated paths trigger an automatic validation pass.
+/// (Thin wrapper over [`eval_index`].)
+pub fn eval_one_index(g: &Graph, idx: &OneIndex, expr: &PathExpr) -> Vec<NodeId> {
+    let view = idx.query_view(g).expect("1-index exposes a query view");
+    eval_index(g, &*view, expr)
 }
 
 /// Evaluates `expr` over the A(k)-index's intra-level iedges. The result
 /// is always *safe* (a superset of the true answer); it is precise only
 /// when `expr.max_length() <= k` and the expression has no predicates —
-/// run [`crate::eval_ak_validated`] otherwise.
+/// run [`crate::eval_ak_validated`] otherwise. (Thin wrapper over
+/// [`eval_index_raw`].)
 pub fn eval_ak_index(g: &Graph, idx: &AkIndex, expr: &PathExpr) -> Vec<NodeId> {
-    let matched = eval_blocks(
-        idx.block_of(g.root()),
-        expr.steps(),
-        |b| idx.isucc(b).collect(),
-        |b, test| match test {
-            Test::Any => true,
-            Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
-        },
-    );
-    let mut out: Vec<NodeId> = matched
-        .into_iter()
-        .flat_map(|b| idx.extent(b).iter().copied())
-        .collect();
-    out.sort_unstable();
-    out
+    let view = idx.query_view(g).expect("A(k)-index exposes a query view");
+    eval_index_raw(&*view, expr)
 }
 
 #[cfg(test)]
@@ -450,10 +473,7 @@ pub fn eval_ak_index_at_level(
             Test::Label(name) => g.labels().name(idx.label(b)) == name.as_str(),
         },
     );
-    let mut out: Vec<NodeId> = matched
-        .into_iter()
-        .flat_map(|b| idx.extent_at(b))
-        .collect();
+    let mut out: Vec<NodeId> = matched.into_iter().flat_map(|b| idx.extent_at(b)).collect();
     out.sort_unstable();
     out
 }

@@ -45,7 +45,8 @@ mod validate;
 
 pub use estimate::{estimate_ak_index, estimate_one_index, CardinalityEstimate};
 pub use eval::{
-    eval_ak_index, eval_ak_index_at_level, eval_graph, eval_one_index, eval_one_index_blocks,
+    eval_ak_index, eval_ak_index_at_level, eval_graph, eval_index, eval_index_raw, eval_one_index,
+    eval_one_index_blocks,
 };
 pub use expr::{Axis, ParseError, PathExpr, Step, Test};
 pub use validate::{eval_ak_validated, validate};

@@ -10,10 +10,10 @@
 //! is lossless while keeping the work proportional to the candidates'
 //! ancestry rather than the whole database.
 
-use crate::eval::{advance_graph, eval_ak_index};
+use crate::eval::advance_graph;
 use crate::expr::PathExpr;
 use std::collections::HashSet;
-use xsi_core::AkIndex;
+use xsi_core::{AkIndex, StructuralIndex};
 use xsi_graph::{Graph, NodeId};
 
 /// Filters `candidates` down to the nodes that actually match `expr` on
@@ -50,19 +50,18 @@ pub fn validate(g: &Graph, expr: &PathExpr, candidates: &[NodeId]) -> Vec<NodeId
 
 /// Complete A(k) query evaluation: index evaluation plus validation when
 /// the path exceeds the index's precision horizon (`expr.max_length() >
-/// k`, or unbounded because of a descendant axis).
+/// k`, or unbounded because of a descendant axis). (Thin wrapper over
+/// the generic [`crate::eval_index`], which reads the horizon from the
+/// index's query view.)
 pub fn eval_ak_validated(g: &Graph, idx: &AkIndex, expr: &PathExpr) -> Vec<NodeId> {
-    let candidates = eval_ak_index(g, idx, expr);
-    match expr.max_length() {
-        Some(len) if len <= idx.k() && !expr.has_predicates() => candidates, // precise
-        _ => validate(g, expr, &candidates),
-    }
+    let view = idx.query_view(g).expect("A(k)-index exposes a query view");
+    crate::eval::eval_index(g, &*view, expr)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::eval_graph;
+    use crate::eval::{eval_ak_index, eval_graph};
     use xsi_graph::GraphBuilder;
 
     /// Two similar branches that an A(1)-index conflates at depth ≥ 2:

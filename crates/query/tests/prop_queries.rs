@@ -1,4 +1,4 @@
-//! Property tests for query evaluation: on arbitrary random graphs and
+//! Randomized tests for query evaluation: on arbitrary random graphs and
 //! random path expressions,
 //!
 //! * the 1-index answers **exactly** like direct evaluation (precision of
@@ -6,11 +6,13 @@
 //! * the raw A(k)-index answer is a **superset** (safety), exact when the
 //!   path length is ≤ k;
 //! * the validated A(k) answer is always exact.
+//!
+//! Driven by the in-repo seeded PRNG so tier-1 runs fully offline.
 
-use proptest::prelude::*;
 use xsi_core::{AkIndex, OneIndex};
 use xsi_graph::{EdgeKind, Graph, NodeId};
 use xsi_query::{eval_ak_index, eval_ak_validated, eval_graph, eval_one_index, PathExpr};
+use xsi_workload::SplitMix64;
 
 #[derive(Debug, Clone)]
 struct Case {
@@ -22,20 +24,29 @@ struct Case {
     k: usize,
 }
 
-fn case_strategy() -> impl Strategy<Value = Case> {
-    (2usize..9, 0usize..4).prop_flat_map(|(n, k)| {
-        (
-            proptest::collection::vec(0u8..4, n),
-            proptest::collection::vec((0..n, 0..n), 0..16),
-            proptest::collection::vec((any::<bool>(), 0u8..5, proptest::option::of(0u8..4)), 1..5),
-        )
-            .prop_map(move |(labels, edges, steps)| Case {
-                labels,
-                edges,
-                steps,
-                k,
-            })
-    })
+fn random_case(rng: &mut SplitMix64) -> Case {
+    let n = rng.random_range(2..9usize);
+    let k = rng.random_range(0..4usize);
+    let labels = (0..n).map(|_| rng.random_range(0..4usize) as u8).collect();
+    let edges = (0..rng.random_range(0..16usize))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    let steps = (0..rng.random_range(1..5usize))
+        .map(|_| {
+            (
+                rng.random_bool(0.5),
+                rng.random_range(0..5usize) as u8,
+                rng.random_bool(0.5)
+                    .then(|| rng.random_range(0..4usize) as u8),
+            )
+        })
+        .collect();
+    Case {
+        labels,
+        edges,
+        steps,
+        k,
+    }
 }
 
 const LABELS: [&str; 4] = ["a", "b", "c", "d"];
@@ -69,35 +80,52 @@ fn build(case: &Case) -> (Graph, PathExpr) {
     (g, PathExpr::parse(&text).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(384))]
-
-    #[test]
-    fn one_index_precise(case in case_strategy()) {
+#[test]
+fn one_index_precise() {
+    for case_no in 0..384u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0E11 + case_no);
+        let case = random_case(&mut rng);
         let (g, expr) = build(&case);
         let idx = OneIndex::build(&g);
-        prop_assert_eq!(eval_one_index(&g, &idx, &expr), eval_graph(&g, &expr));
+        assert_eq!(
+            eval_one_index(&g, &idx, &expr),
+            eval_graph(&g, &expr),
+            "case {case_no}: {case:?}"
+        );
     }
+}
 
-    #[test]
-    fn ak_index_safe_and_validated_exact(case in case_strategy()) {
+#[test]
+fn ak_index_safe_and_validated_exact() {
+    for case_no in 0..384u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xAC5A + case_no);
+        let case = random_case(&mut rng);
         let (g, expr) = build(&case);
         let idx = AkIndex::build(&g, case.k);
         let exact = eval_graph(&g, &expr);
         let raw = eval_ak_index(&g, &idx, &expr);
         for n in &exact {
-            prop_assert!(raw.contains(n), "A(k) answer lost {n:?}");
+            assert!(raw.contains(n), "case {case_no}: A(k) answer lost {n:?}");
         }
         if expr.max_length().is_some_and(|l| l <= case.k) && !expr.has_predicates() {
-            prop_assert_eq!(&raw, &exact, "A(k) must be precise within k");
+            assert_eq!(
+                &raw, &exact,
+                "case {case_no}: A(k) must be precise within k"
+            );
         }
-        prop_assert_eq!(eval_ak_validated(&g, &idx, &expr), exact);
+        assert_eq!(eval_ak_validated(&g, &idx, &expr), exact, "case {case_no}");
     }
+}
 
-    /// Queries remain correct through incremental maintenance.
-    #[test]
-    fn queries_exact_after_updates(case in case_strategy(),
-                                   toggles in proptest::collection::vec(0usize..64, 1..8)) {
+/// Queries remain correct through incremental maintenance.
+#[test]
+fn queries_exact_after_updates() {
+    for case_no in 0..384u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x9E4F + case_no);
+        let case = random_case(&mut rng);
+        let toggles: Vec<usize> = (0..rng.random_range(1..8usize))
+            .map(|_| rng.random_range(0..64usize))
+            .collect();
         let (mut g, expr) = build(&case);
         let mut one = OneIndex::build(&g);
         let mut ak = AkIndex::build(&g, case.k);
@@ -118,8 +146,12 @@ proptest! {
                 ak.notify_edge_inserted(&g, u, v);
             }
             let exact = eval_graph(&g, &expr);
-            prop_assert_eq!(eval_one_index(&g, &one, &expr), exact.clone());
-            prop_assert_eq!(eval_ak_validated(&g, &ak, &expr), exact);
+            assert_eq!(
+                eval_one_index(&g, &one, &expr),
+                exact.clone(),
+                "case {case_no}"
+            );
+            assert_eq!(eval_ak_validated(&g, &ak, &expr), exact, "case {case_no}");
         }
     }
 }

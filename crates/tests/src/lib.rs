@@ -1,0 +1,3 @@
+//! Intentionally empty: this crate exists only to host the workspace's
+//! cross-crate integration suites under `tests/`. See the package
+//! manifest for the rationale.

@@ -1,0 +1,315 @@
+//! Satellite: engine-equivalence — random update sequences applied
+//! through the single-writer [`UpdateEngine`] must leave every registered
+//! index in exactly the state produced by (a) per-index sequential
+//! maintenance over a twin graph, and (b) where the family guarantees it,
+//! a rebuild from scratch; validity is additionally cross-checked against
+//! the `reference` fixpoint oracles via the trait-level checkers.
+
+use std::collections::HashMap;
+use xsi_core::{check, AkIndex, OneIndex, SimpleAkIndex, UpdateEngine};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_workload::SplitMix64;
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+const K: usize = 2;
+
+/// A random **acyclic** base graph: a handful of labeled nodes, edges
+/// only from earlier to later handles. Acyclicity keeps the minimal
+/// 1-index unique (Theorem 1's minimum), so the equivalence assertions
+/// below can demand exact partition equality — on cyclic graphs several
+/// distinct minimal 1-indexes exist and the merge order may pick any.
+fn random_base(rng: &mut SplitMix64) -> (Graph, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let mut handles = vec![g.root()];
+    let n_nodes = rng.random_range(3..10usize);
+    for _ in 0..n_nodes {
+        let l = LABELS[rng.random_range(0..LABELS.len())];
+        handles.push(g.add_node(l, None));
+    }
+    let n_edges = rng.random_range(2..16usize);
+    for _ in 0..n_edges {
+        let (i, j) = (
+            rng.random_range(0..handles.len()),
+            rng.random_range(0..handles.len()),
+        );
+        if i == j {
+            continue;
+        }
+        let (u, v) = (handles[i.min(j)], handles[i.max(j)]);
+        let kind = if rng.random_bool(0.7) {
+            EdgeKind::Child
+        } else {
+            EdgeKind::IdRef
+        };
+        let _ = g.insert_edge(u, v, kind); // dups/root-in rejected
+    }
+    (g, handles)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    AddNode(usize),
+    InsertEdge(usize, usize),
+    DeleteEdge(usize, usize),
+    RemoveNode(usize),
+}
+
+fn random_ops(rng: &mut SplitMix64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.random_range(0..8usize) {
+            0 => Op::AddNode(rng.random_range(0..LABELS.len())),
+            1..=3 => Op::InsertEdge(rng.random_range(0..32usize), rng.random_range(0..32usize)),
+            4 | 5 => Op::DeleteEdge(rng.random_range(0..32usize), rng.random_range(0..32usize)),
+            _ => Op::RemoveNode(rng.random_range(0..32usize)),
+        })
+        .collect()
+}
+
+/// Sequential twin: one graph, the three indexes notified one after the
+/// other through the same hook contract the engine uses.
+struct Sequential {
+    g: Graph,
+    one: OneIndex,
+    ak: AkIndex,
+    simple: SimpleAkIndex,
+}
+
+impl Sequential {
+    fn new(g: Graph) -> Self {
+        let one = OneIndex::build(&g);
+        let ak = AkIndex::build(&g, K);
+        let simple = SimpleAkIndex::build(&g, K);
+        Sequential { g, one, ak, simple }
+    }
+
+    fn add_node(&mut self, label: &str) -> NodeId {
+        let n = self.g.add_node(label, None);
+        self.one.on_node_added(&self.g, n);
+        self.ak.on_node_added(&self.g, n);
+        SimpleAkIndex::on_node_added(&mut self.simple, &self.g, n);
+        n
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId, kind: EdgeKind) -> bool {
+        if self.g.insert_edge(u, v, kind).is_err() {
+            return false;
+        }
+        self.one.notify_edge_inserted(&self.g, u, v);
+        self.ak.notify_edge_inserted(&self.g, u, v);
+        self.simple.notify_edge_inserted(&self.g, u, v);
+        true
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.g.delete_edge(u, v).is_err() {
+            return false;
+        }
+        self.one.notify_edge_deleted(&self.g, u, v);
+        self.ak.notify_edge_deleted(&self.g, u, v);
+        self.simple.notify_edge_deleted(&self.g, u, v);
+        true
+    }
+
+    fn remove_node(&mut self, n: NodeId) -> bool {
+        if !self.g.is_alive(n) || n == self.g.root() {
+            return false;
+        }
+        let parents: Vec<NodeId> = self.g.pred(n).collect();
+        for p in parents {
+            assert!(self.delete_edge(p, n));
+        }
+        let children: Vec<NodeId> = self.g.succ(n).collect();
+        for c in children {
+            assert!(self.delete_edge(n, c));
+        }
+        self.one.on_node_removing(&self.g, n);
+        self.ak.on_node_removing(&self.g, n);
+        SimpleAkIndex::on_node_removing(&mut self.simple, &self.g, n);
+        self.g.remove_node(n).expect("edgeless non-root node");
+        true
+    }
+}
+
+#[test]
+fn engine_equals_sequential_equals_rebuild() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xE9E9 + case);
+        let (g0, mut handles) = random_base(&mut rng);
+
+        let mut engine = UpdateEngine::new(g0.clone());
+        let h_one = engine.register(Box::new(OneIndex::build(&g0)));
+        let h_ak = engine.register(Box::new(AkIndex::build(&g0, K)));
+        let h_simple = engine.register(Box::new(SimpleAkIndex::build(&g0, K)));
+        let mut seq = Sequential::new(g0);
+
+        for op in random_ops(&mut rng, 40) {
+            match op {
+                Op::AddNode(l) => {
+                    let n_engine = engine.add_node(LABELS[l], None);
+                    let n_seq = seq.add_node(LABELS[l]);
+                    // Same deterministic id allocation on both twins.
+                    assert_eq!(n_engine, n_seq, "case {case}");
+                    handles.push(n_engine);
+                }
+                Op::InsertEdge(i, j) => {
+                    let (i, j) = (i % handles.len(), j % handles.len());
+                    if i == j {
+                        continue;
+                    }
+                    // Forward edges only — keeps the graph acyclic.
+                    let (u, v) = (handles[i.min(j)], handles[i.max(j)]);
+                    let engine_ok = engine.insert_edge(u, v, EdgeKind::IdRef).is_ok();
+                    let seq_ok = seq.insert_edge(u, v, EdgeKind::IdRef);
+                    assert_eq!(engine_ok, seq_ok, "case {case}");
+                }
+                Op::DeleteEdge(i, j) => {
+                    let (u, v) = (handles[i % handles.len()], handles[j % handles.len()]);
+                    let engine_ok = engine.delete_edge(u, v).is_ok();
+                    let seq_ok = seq.delete_edge(u, v);
+                    assert_eq!(engine_ok, seq_ok, "case {case}");
+                }
+                Op::RemoveNode(i) => {
+                    let n = handles[i % handles.len()];
+                    let engine_ok = engine.remove_node(n).is_ok();
+                    let seq_ok = seq.remove_node(n);
+                    assert_eq!(engine_ok, seq_ok, "case {case}");
+                }
+            }
+            // The two graphs stay identical.
+            assert_eq!(
+                engine.graph().node_count(),
+                seq.g.node_count(),
+                "case {case}"
+            );
+            assert_eq!(
+                engine.graph().edge_count(),
+                seq.g.edge_count(),
+                "case {case}"
+            );
+        }
+
+        // Every registered index passes its own validity checker.
+        engine
+            .check()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+
+        // Engine ≡ sequential, exactly (canonical partitions).
+        let g = seq.g;
+        let e_one = engine
+            .index(h_one)
+            .as_any()
+            .downcast_ref::<OneIndex>()
+            .unwrap();
+        let e_ak = engine
+            .index(h_ak)
+            .as_any()
+            .downcast_ref::<AkIndex>()
+            .unwrap();
+        let e_simple = engine
+            .index(h_simple)
+            .as_any()
+            .downcast_ref::<SimpleAkIndex>()
+            .unwrap();
+        assert_eq!(e_one.canonical(), seq.one.canonical(), "case {case}");
+        assert_eq!(e_ak.canonical(), seq.ak.canonical(), "case {case}");
+        assert_eq!(
+            e_simple.canonical(&g),
+            seq.simple.canonical(&g),
+            "case {case}"
+        );
+
+        // ≡ rebuild-from-scratch where the theorems promise it:
+        // Theorem 2 — A(k) split/merge keeps the minimum chain on any graph.
+        assert_eq!(
+            e_ak.canonical(),
+            AkIndex::build(&g, K).canonical(),
+            "case {case}"
+        );
+        // Theorem 1 — the 1-index stays minimal (and valid) everywhere;
+        // on acyclic graphs (our workload) it is the unique minimum,
+        // i.e. exactly the fresh Paige–Tarjan build.
+        assert!(check::is_valid_1index(&g, e_one.partition()), "case {case}");
+        assert!(
+            check::is_minimal_1index(&g, e_one.partition()),
+            "case {case}"
+        );
+        assert_eq!(
+            e_one.canonical(),
+            OneIndex::build(&g).canonical(),
+            "case {case}"
+        );
+
+        // The simple baseline is a refinement (safe) of the true A(k).
+        let exact = AkIndex::build(&g, K);
+        assert!(e_simple.block_count() >= exact.block_count(), "case {case}");
+        let sa = e_simple.assignment(&g);
+        let ea = exact.assignment(&g, K);
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for n in g.nodes() {
+            let entry = map.entry(sa[n.index()]).or_insert(ea[n.index()]);
+            assert_eq!(
+                *entry,
+                ea[n.index()],
+                "case {case}: simple not a refinement"
+            );
+        }
+    }
+}
+
+/// The engine's batch path and its single-op path agree with each other.
+#[test]
+fn engine_batch_path_matches_single_ops() {
+    use xsi_core::{NodeRef, UpdateOp};
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xBA7C + case);
+        let (g0, handles) = random_base(&mut rng);
+
+        let mut via_batch = UpdateEngine::new(g0.clone());
+        let hb = via_batch.register(Box::new(OneIndex::build(&g0)));
+        let mut via_singles = UpdateEngine::new(g0.clone());
+        let hs = via_singles.register(Box::new(OneIndex::build(&g0)));
+
+        // A batch of inserts that are valid by construction.
+        let mut ops = vec![UpdateOp::AddNode { label: "e".into() }];
+        let mut expected_new_edges = 0;
+        for &u in handles.iter().take(3) {
+            if u != g0.root() {
+                ops.push(UpdateOp::InsertEdge {
+                    from: NodeRef::New(0),
+                    to: NodeRef::Existing(u),
+                    kind: EdgeKind::IdRef,
+                });
+                expected_new_edges += 1;
+            }
+        }
+        let result = via_batch.apply_batch(&ops).unwrap();
+        assert_eq!(result.ops_applied, 1 + expected_new_edges, "case {case}");
+
+        let n = via_singles.add_node("e", None);
+        assert_eq!(n, result.created[0], "case {case}");
+        for &u in handles.iter().take(3) {
+            if u != g0.root() {
+                via_singles.insert_edge(n, u, EdgeKind::IdRef).unwrap();
+            }
+        }
+
+        via_batch.check().unwrap();
+        via_singles.check().unwrap();
+        let b = via_batch
+            .index(hb)
+            .as_any()
+            .downcast_ref::<OneIndex>()
+            .unwrap();
+        let s = via_singles
+            .index(hs)
+            .as_any()
+            .downcast_ref::<OneIndex>()
+            .unwrap();
+        assert_eq!(b.canonical(), s.canonical(), "case {case}");
+        assert_eq!(
+            via_batch.stats().ops,
+            via_singles.stats().ops,
+            "case {case}"
+        );
+    }
+}

@@ -15,8 +15,7 @@
 //! papers (IDREF). Citation targets follow a recency-skewed distribution,
 //! giving realistic in-degree variety.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64 as StdRng;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 
 /// Generation parameters. `scale = 1.0` yields roughly 190 k dnodes.

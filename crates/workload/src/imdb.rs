@@ -9,8 +9,7 @@
 //! and person→movie filmography references) stay within the community
 //! with high probability, planting many short, similar cycles.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64 as StdRng;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 
 /// Generation parameters. `scale = 1.0` approximates the paper's crawl

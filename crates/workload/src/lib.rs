@@ -21,10 +21,12 @@
 
 pub mod dblp;
 pub mod imdb;
+pub mod rng;
 pub mod updates;
 pub mod xmark;
 
 pub use dblp::{generate_dblp, DblpParams};
 pub use imdb::{generate_imdb, ImdbParams};
+pub use rng::SplitMix64;
 pub use updates::{collect_subtree_roots, EdgePool};
 pub use xmark::{generate_xmark, XmarkParams};

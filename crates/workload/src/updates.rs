@@ -13,9 +13,7 @@
 //!   extracted without traversing IDREF edges —
 //!   [`collect_subtree_roots`] picks the roots.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64 as StdRng;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 
 /// The insert/delete edge pool of the paper's mixed-update protocol.
@@ -45,7 +43,7 @@ impl EdgePool {
             .filter(|&(_, _, k)| k == EdgeKind::IdRef)
             .map(|(u, v, _)| (u, v))
             .collect();
-        idrefs.shuffle(&mut rng);
+        rng.shuffle(&mut idrefs);
         let take = ((idrefs.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
         let pool: Vec<(NodeId, NodeId)> = idrefs.drain(..take).collect();
         for &(u, v) in &pool {
@@ -104,7 +102,7 @@ impl EdgePool {
 pub fn collect_subtree_roots(g: &Graph, label: &str, count: usize, seed: u64) -> Vec<NodeId> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut candidates: Vec<NodeId> = g.nodes().filter(|&n| g.label_name(n) == label).collect();
-    candidates.shuffle(&mut rng);
+    rng.shuffle(&mut candidates);
     let mut claimed = vec![false; g.capacity()];
     let mut roots = Vec::new();
     'candidates: for root in candidates {

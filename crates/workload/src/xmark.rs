@@ -12,8 +12,7 @@
 //!
 //! All randomness flows from the seed: equal parameters ⇒ equal graphs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64 as StdRng;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 
 /// Generation parameters. `scale = 1.0` approximates the paper's dataset

@@ -1,9 +1,10 @@
-//! Property test: serialize(graph) → parse → graph is an ordered
+//! Randomized test: serialize(graph) → parse → graph is an ordered
 //! isomorphism, for arbitrary containment trees with IDREF edges, values
 //! and attribute nodes — including values containing XML metacharacters.
+//! A seeded in-repo PRNG replaces proptest so tier-1 runs fully offline.
 
-use proptest::prelude::*;
 use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_workload::SplitMix64;
 use xsi_xml::{parse_str, serialize, ParseOptions, SerializeOptions};
 
 #[derive(Debug, Clone)]
@@ -16,39 +17,43 @@ struct TreeSpec {
     idrefs: Vec<(usize, usize)>,
 }
 
-fn value_strategy() -> impl Strategy<Value = String> {
-    // Exercise escaping: include &, <, >, quotes; avoid leading/trailing
-    // whitespace (the parser trims text) and inner whitespace runs (text
-    // concatenation normalizes them to single spaces).
-    proptest::string::string_regex("[a-zA-Z0-9&<>'\"]{1,12}").expect("valid regex")
+/// Exercise escaping: include &, <, >, quotes; avoid leading/trailing
+/// whitespace (the parser trims text) and inner whitespace runs (text
+/// concatenation normalizes them to single spaces).
+fn random_value(rng: &mut SplitMix64) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz\
+                              ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789&<>'\"";
+    let len = rng.random_range(1..=12usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+        .collect()
 }
 
-fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
-    (1usize..12).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<usize>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(0).boxed()
-                } else {
-                    (0..=i).prop_map(|p| p).boxed()
-                }
-            })
-            .collect();
-        (
-            parents,
-            proptest::collection::vec(0u8..4, n),
-            proptest::collection::vec(proptest::option::of(value_strategy()), n),
-            proptest::collection::vec(proptest::option::of((0u8..3, value_strategy())), n),
-            proptest::collection::vec((0..n, 0..n), 0..4),
-        )
-            .prop_map(|(parents, labels, values, attrs, idrefs)| TreeSpec {
-                parents,
-                labels,
-                values,
-                attrs,
-                idrefs,
-            })
-    })
+fn random_tree(rng: &mut SplitMix64) -> TreeSpec {
+    let n = rng.random_range(1..12usize);
+    let parents = (0..n)
+        .map(|i| if i == 0 { 0 } else { rng.random_range(0..=i) })
+        .collect();
+    let labels = (0..n).map(|_| rng.random_range(0..4usize) as u8).collect();
+    let values = (0..n)
+        .map(|_| rng.random_bool(0.5).then(|| random_value(rng)))
+        .collect();
+    let attrs = (0..n)
+        .map(|_| {
+            rng.random_bool(0.5)
+                .then(|| (rng.random_range(0..3usize) as u8, random_value(rng)))
+        })
+        .collect();
+    let idrefs = (0..rng.random_range(0..4usize))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    TreeSpec {
+        parents,
+        labels,
+        values,
+        attrs,
+        idrefs,
+    }
 }
 
 fn build(spec: &TreeSpec) -> Graph {
@@ -112,30 +117,37 @@ fn assert_ordered_isomorphic(a: &Graph, b: &Graph) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn serialize_parse_round_trip(spec in tree_strategy()) {
+#[test]
+fn serialize_parse_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0001_0000 + case);
+        let spec = random_tree(&mut rng);
         let g = build(&spec);
         for indent in [None, Some(2)] {
-            let opts = SerializeOptions { indent, ..SerializeOptions::default() };
+            let opts = SerializeOptions {
+                indent,
+                ..SerializeOptions::default()
+            };
             let xml = serialize(&g, &opts).unwrap();
             let reparsed = parse_str(&xml, &ParseOptions::default())
-                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+                .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{xml}"));
             assert_ordered_isomorphic(&g, &reparsed.graph);
         }
     }
+}
 
-    /// Serializing the reparsed graph again yields byte-identical XML
-    /// (serialization is a normal form).
-    #[test]
-    fn second_serialization_is_stable(spec in tree_strategy()) {
+/// Serializing the reparsed graph again yields byte-identical XML
+/// (serialization is a normal form).
+#[test]
+fn second_serialization_is_stable() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0002_0000 + case);
+        let spec = random_tree(&mut rng);
         let g = build(&spec);
         let opts = SerializeOptions::default();
         let xml1 = serialize(&g, &opts).unwrap();
         let reparsed = parse_str(&xml1, &ParseOptions::default()).unwrap();
         let xml2 = serialize(&reparsed.graph, &opts).unwrap();
-        prop_assert_eq!(xml1, xml2);
+        assert_eq!(xml1, xml2, "case {case}");
     }
 }

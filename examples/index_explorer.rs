@@ -51,7 +51,7 @@ fn main() {
             )
         })
         .collect();
-    sizes.sort_by(|a, b| b.0.cmp(&a.0));
+    sizes.sort_by_key(|s| std::cmp::Reverse(s.0));
     println!("largest inodes:");
     for (size, label) in sizes.iter().take(8) {
         println!("  {size:>8} dnodes  <{label}>");
@@ -75,7 +75,7 @@ fn main() {
         *per_label.entry(g.labels().name(one.label(b))).or_insert(0) += 1;
     }
     let mut per_label: Vec<(&str, usize)> = per_label.into_iter().collect();
-    per_label.sort_by(|a, b| b.1.cmp(&a.1));
+    per_label.sort_by_key(|p| std::cmp::Reverse(p.1));
     println!("\nlabels with the most 1-index inodes (structural variety):");
     for (label, count) in per_label.iter().take(8) {
         println!("  {count:>6} inodes  <{label}>");
