@@ -1,0 +1,540 @@
+//! The differential oracle harness: run one [`Scenario`] and convict
+//! the first divergence.
+//!
+//! All four index families are registered in one [`UpdateEngine`] and
+//! observe the same mutation stream; after **every** applied operation
+//! the harness cross-examines them against independent oracles (see
+//! crate docs for the soundness argument behind each check):
+//!
+//! | check               | applies to        | oracle                              |
+//! |---------------------|-------------------|-------------------------------------|
+//! | `graph-consistency` | the data graph    | `Graph::check_consistency`          |
+//! | `engine-check`      | every index       | `StructuralIndex::check` (validity) |
+//! | `one-minimality`    | split/merge 1-idx | Definition 5 (`check.rs`), any graph|
+//! | `one-exact-acyclic` | split/merge 1-idx | naive bisimulation, acyclic only    |
+//! | `one-bounds`        | split/merge 1-idx | minimum ≤ blocks ≤ nodes            |
+//! | `prop-bounds`       | propagate 1-idx   | minimum ≤ blocks ≤ nodes            |
+//! | `ak-exact`          | A(k) split/merge  | fresh rebuild, any graph (Thm 2)    |
+//! | `ak-chain-oracle`   | A(k) split/merge  | naive k-bisim chain, any graph      |
+//! | `simple-refinement` | simple A(k)       | refines exact k-bisim classes       |
+//! | `query-*`           | every view        | naive data-graph evaluation         |
+//! | `final-*`           | every index       | rebuild restores the minimum        |
+//!
+//! Panics anywhere in the pipeline (including the engine's own
+//! `paranoid`-feature self-checks) are caught per-operation and turned
+//! into ordinary, shrinkable [`Failure`]s.
+
+use crate::fault::{one_index_canonical, one_index_partition, FaultyOneIndex};
+use crate::scenario::{Scenario, ScenarioOp};
+use crate::view::DerivedView;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xsi_core::{
+    check, reference, AkIndex, IndexHandle, NodeRef, OneIndex, PropagateOneIndex, SimpleAkIndex,
+    StructuralIndex, UpdateEngine, UpdateOp,
+};
+use xsi_graph::{is_acyclic, EdgeKind, Graph, NodeId};
+use xsi_query::{eval_graph, eval_index, PathExpr};
+
+/// A convicted divergence: which step (by op index; `None` for the
+/// final rebuild phase), which check, and the oracle's explanation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Index into `Scenario::ops` of the op whose checks failed, or
+    /// `None` when the final rebuild phase failed.
+    pub step: Option<usize>,
+    /// Stable check name (`one-minimality`, `panic`, `query-ak`, …).
+    pub check: String,
+    /// Human-readable detail from the oracle.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            Some(i) => write!(f, "[op {i}] {}: {}", self.check, self.detail),
+            None => write!(f, "[final] {}: {}", self.check, self.detail),
+        }
+    }
+}
+
+/// Summary of a passing run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Ops that mutated the graph.
+    pub applied: usize,
+    /// Ops skipped by the deterministic applicability rules.
+    pub skipped: usize,
+    /// Total oracle check passes executed.
+    pub checks: usize,
+}
+
+struct Handles {
+    one: IndexHandle,
+    prop: IndexHandle,
+    ak: IndexHandle,
+    simple: IndexHandle,
+}
+
+/// Runs `scenario` end to end. `Ok` means every per-op and final oracle
+/// agreed; `Err` carries the first divergence.
+pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
+    let mut g = Graph::new();
+    let mut handles: Vec<NodeId> = vec![g.root()];
+    for label in &scenario.base_labels {
+        handles.push(g.add_node(label, None));
+    }
+    for &(u, v, kind) in &scenario.base_edges {
+        if u < handles.len() && v < handles.len() && u != v {
+            // Tolerate (skip) edges the graph rejects so hand-edited
+            // replay files degrade deterministically instead of erroring.
+            let _ = g.insert_edge(handles[u], handles[v], kind);
+        }
+    }
+    let queries: Vec<(String, PathExpr)> = scenario
+        .queries
+        .iter()
+        .filter_map(|q| PathExpr::parse(q).ok().map(|e| (q.clone(), e)))
+        .collect();
+
+    let one: Box<dyn StructuralIndex> = match scenario.fault {
+        Some(fault) => Box::new(FaultyOneIndex::build(&g, fault)),
+        None => Box::new(OneIndex::build(&g)),
+    };
+    let prop = PropagateOneIndex::build(&g);
+    let ak = AkIndex::build(&g, scenario.k);
+    let simple = SimpleAkIndex::build(&g, scenario.k);
+
+    let mut engine = UpdateEngine::new(g);
+    let hs = Handles {
+        one: engine.register(one),
+        prop: engine.register(Box::new(prop)),
+        ak: engine.register(Box::new(ak)),
+        simple: engine.register(Box::new(simple)),
+    };
+
+    let mut report = RunReport::default();
+
+    for (i, op) in scenario.ops.iter().enumerate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<bool, Failure> {
+            let Some(batch) = translate(op, &handles, engine.graph()) else {
+                return Ok(false);
+            };
+            match engine.apply_batch(&batch) {
+                Ok(result) => {
+                    handles.retain(|&h| engine.graph().is_alive(h));
+                    handles.extend(result.created);
+                }
+                // Structurally rejected batches leave all state
+                // untouched; count them as (deterministic) skips.
+                Err(_) => return Ok(false),
+            }
+            let checks =
+                check_all(&engine, &hs, scenario.k, &queries).map_err(|(check, detail)| {
+                    Failure {
+                        step: Some(i),
+                        check,
+                        detail,
+                    }
+                })?;
+            report.checks += checks;
+            Ok(true)
+        }));
+        match outcome {
+            Ok(Ok(true)) => report.applied += 1,
+            Ok(Ok(false)) => report.skipped += 1,
+            Ok(Err(failure)) => return Err(failure),
+            Err(payload) => {
+                return Err(Failure {
+                    step: Some(i),
+                    check: "panic".into(),
+                    detail: panic_message(payload),
+                })
+            }
+        }
+    }
+
+    // Final phase: rebuild must restore the family minimum everywhere.
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<usize, Failure> {
+        final_checks(engine).map_err(|(check, detail)| Failure {
+            step: None,
+            check,
+            detail,
+        })
+    }));
+    match outcome {
+        Ok(Ok(checks)) => {
+            report.checks += checks;
+            Ok(report)
+        }
+        Ok(Err(failure)) => Err(failure),
+        Err(payload) => Err(Failure {
+            step: None,
+            check: "panic".into(),
+            detail: panic_message(payload),
+        }),
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Lowers a [`ScenarioOp`] to an engine batch, or `None` when the op is
+/// deterministically inapplicable in the current state (see the
+/// scenario module docs for the rules).
+fn translate(op: &ScenarioOp, handles: &[NodeId], g: &Graph) -> Option<Vec<UpdateOp>> {
+    let resolve = |raw: usize| handles[raw % handles.len()];
+    match op {
+        ScenarioOp::AddNode { label } => Some(vec![UpdateOp::AddNode {
+            label: label.clone(),
+        }]),
+        ScenarioOp::InsertEdge { from, to, kind } => {
+            let (u, v) = (resolve(*from), resolve(*to));
+            if u == v || v == g.root() || g.has_edge(u, v) {
+                return None;
+            }
+            Some(vec![UpdateOp::InsertEdge {
+                from: NodeRef::Existing(u),
+                to: NodeRef::Existing(v),
+                kind: *kind,
+            }])
+        }
+        ScenarioOp::DeleteEdge { from, to } => {
+            let (u, v) = (resolve(*from), resolve(*to));
+            if !g.has_edge(u, v) {
+                return None;
+            }
+            Some(vec![UpdateOp::DeleteEdge { from: u, to: v }])
+        }
+        ScenarioOp::RemoveNode { node } => {
+            let n = resolve(*node);
+            if n == g.root() {
+                return None;
+            }
+            Some(vec![UpdateOp::RemoveNode { node: n }])
+        }
+        ScenarioOp::AddSubtree { parent, nodes } => {
+            let p = resolve(*parent);
+            let mut batch: Vec<UpdateOp> = nodes
+                .iter()
+                .map(|(label, _)| UpdateOp::AddNode {
+                    label: label.clone(),
+                })
+                .collect();
+            for (i, (_, local_parent)) in nodes.iter().enumerate() {
+                let from = if i == 0 {
+                    NodeRef::Existing(p)
+                } else {
+                    NodeRef::New(*local_parent)
+                };
+                batch.push(UpdateOp::InsertEdge {
+                    from,
+                    to: NodeRef::New(i),
+                    kind: EdgeKind::Child,
+                });
+            }
+            Some(batch)
+        }
+        ScenarioOp::RemoveSubtree { root } => {
+            let r = resolve(*root);
+            if r == g.root() {
+                return None;
+            }
+            // Child-reachable closure (the paper's subtree extraction
+            // follows containment edges only).
+            let mut seen: HashSet<NodeId> = HashSet::new();
+            let mut order = vec![r];
+            seen.insert(r);
+            let mut head = 0;
+            while head < order.len() {
+                let u = order[head];
+                head += 1;
+                for (v, kind) in g.succ_with_kind(u) {
+                    if kind == EdgeKind::Child && seen.insert(v) {
+                        order.push(v);
+                    }
+                }
+            }
+            Some(
+                order
+                    .into_iter()
+                    .map(|node| UpdateOp::RemoveNode { node })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// All per-op oracle checks; returns the number of checks that passed.
+fn check_all(
+    engine: &UpdateEngine,
+    hs: &Handles,
+    k: usize,
+    queries: &[(String, PathExpr)],
+) -> Result<usize, (String, String)> {
+    let mut passed = 0usize;
+    let g = engine.graph();
+
+    g.check_consistency()
+        .map_err(|e| ("graph-consistency".to_string(), e))?;
+    passed += 1;
+    engine
+        .check()
+        .map_err(|e| ("engine-check".to_string(), e))?;
+    passed += 1;
+
+    let bisim = reference::bisim_classes(g);
+    let minimum = reference::partition_size(g, &bisim);
+    let nodes = g.node_count();
+    let acyclic = is_acyclic(g);
+
+    // --- split/merge 1-index slot (possibly fault-injected) ---
+    let one = engine.index(hs.one);
+    let partition = one_index_partition(one).expect("slot 0 holds a 1-index family object");
+    if let Some(v) = check::minimality_violation(g, partition) {
+        return Err(("one-minimality".into(), v));
+    }
+    passed += 1;
+    let blocks = one.block_count();
+    if blocks < minimum || blocks > nodes {
+        return Err((
+            "one-bounds".into(),
+            format!("{blocks} blocks outside [{minimum}, {nodes}]"),
+        ));
+    }
+    passed += 1;
+    if acyclic {
+        let canon = one_index_canonical(one).expect("1-index family object");
+        let expected = reference::canonical_partition(g, &bisim);
+        if canon != expected {
+            return Err((
+                "one-exact-acyclic".into(),
+                format!(
+                    "maintained partition ({} blocks) != bisimulation oracle ({} blocks)",
+                    canon.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        passed += 1;
+    }
+
+    // --- propagate baseline: valid (engine-check) + size-bounded ---
+    let prop_blocks = engine.index(hs.prop).block_count();
+    if prop_blocks < minimum || prop_blocks > nodes {
+        return Err((
+            "prop-bounds".into(),
+            format!("{prop_blocks} blocks outside [{minimum}, {nodes}]"),
+        ));
+    }
+    passed += 1;
+
+    // --- A(k) split/merge: exact on ANY graph (Theorem 2) ---
+    let ak = engine
+        .index(hs.ak)
+        .as_any()
+        .downcast_ref::<AkIndex>()
+        .expect("slot 2 holds the A(k)-index");
+    let fresh = AkIndex::build(g, k);
+    if ak.canonical() != fresh.canonical() {
+        return Err((
+            "ak-exact".into(),
+            format!(
+                "maintained A({k}) has {} blocks, fresh build {}",
+                ak.block_count(),
+                fresh.block_count()
+            ),
+        ));
+    }
+    passed += 1;
+    let chain = ak.chain_assignments(g);
+    let ref_chain = reference::k_bisim_chain(g, k);
+    for (level, (got, want)) in chain.iter().zip(ref_chain.iter()).enumerate() {
+        if reference::canonical_partition(g, got) != reference::canonical_partition(g, want) {
+            return Err((
+                "ak-chain-oracle".into(),
+                format!("A({level}) level disagrees with the naive k-bisimulation chain"),
+            ));
+        }
+    }
+    passed += 1;
+
+    // --- simple baseline: must refine the exact k-bisim classes ---
+    let simple = engine
+        .index(hs.simple)
+        .as_any()
+        .downcast_ref::<SimpleAkIndex>()
+        .expect("slot 3 holds the simple A(k) baseline");
+    let assignment = simple.assignment(g);
+    let exact = ref_chain.last().expect("chain has k+1 levels");
+    let mut class_map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for n in g.nodes() {
+        let (s, e) = (assignment[n.index()], exact[n.index()]);
+        match class_map.insert(s, e) {
+            Some(prev) if prev != e => {
+                return Err((
+                    "simple-refinement".into(),
+                    format!("simple class {s} straddles exact k-bisim classes {prev} and {e}"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    passed += 1;
+
+    // --- query agreement across every view ---
+    for (text, expr) in queries {
+        let mut expected = eval_graph(g, expr);
+        expected.sort_unstable();
+        expected.dedup();
+        let derived = DerivedView::from_assignment(g, &assignment, Some(k));
+        let views: [(&str, Box<dyn xsi_core::IndexQueryView + '_>); 4] = [
+            ("one", one.query_view(g).expect("1-index view")),
+            (
+                "prop",
+                engine.index(hs.prop).query_view(g).expect("propagate view"),
+            ),
+            ("ak", engine.index(hs.ak).query_view(g).expect("A(k) view")),
+            ("simple", Box::new(derived)),
+        ];
+        for (name, view) in &views {
+            let mut got = eval_index(g, view.as_ref(), expr);
+            got.sort_unstable();
+            got.dedup();
+            if got != expected {
+                return Err((
+                    format!("query-{name}"),
+                    format!(
+                        "{text}: index answered {} nodes, data graph {}",
+                        got.len(),
+                        expected.len()
+                    ),
+                ));
+            }
+            passed += 1;
+        }
+    }
+
+    Ok(passed)
+}
+
+/// Consumes the engine and verifies that `rebuild` restores the family
+/// minimum for every registered index.
+fn final_checks(engine: UpdateEngine) -> Result<usize, (String, String)> {
+    let mut passed = 0usize;
+    let (g, mut indexes) = engine.into_parts();
+    let acyclic = is_acyclic(&g);
+    for idx in &mut indexes {
+        let name = idx.describe();
+        idx.rebuild(&g);
+        idx.check(&g)
+            .map_err(|e| ("final-check".to_string(), format!("{name}: {e}")))?;
+        passed += 1;
+        let minimum = idx.minimum_block_count(&g);
+        if idx.block_count() != minimum {
+            return Err((
+                "final-rebuild-minimum".into(),
+                format!(
+                    "{name}: rebuilt to {} blocks, minimum is {minimum}",
+                    idx.block_count()
+                ),
+            ));
+        }
+        passed += 1;
+    }
+    // On acyclic graphs the minimum 1-index is unique, so the rebuilt
+    // slot-0 partition must equal a from-scratch build exactly.
+    if acyclic {
+        let canon = one_index_canonical(indexes[0].as_ref()).expect("1-index family object");
+        if canon != OneIndex::build(&g).canonical() {
+            return Err((
+                "final-one-exact".into(),
+                "rebuilt 1-index differs from a fresh Paige–Tarjan build".into(),
+            ));
+        }
+        passed += 1;
+    }
+    Ok(passed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_scenario, GenConfig};
+
+    #[test]
+    fn empty_scenario_passes() {
+        let s = Scenario {
+            seed: 0,
+            k: 2,
+            fault: None,
+            base_labels: vec!["a".into()],
+            base_edges: vec![(0, 1, EdgeKind::Child)],
+            queries: vec!["/a".into()],
+            ops: vec![],
+        };
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.applied, 0);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn small_generated_scenarios_pass() {
+        for seed in 0..6u64 {
+            let s = generate_scenario(seed, &GenConfig::small(seed % 2 == 1));
+            if let Err(f) = run_scenario(&s) {
+                panic!("seed {seed} (replay with XSI_TEST_SEED={seed}): {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_ops_are_deterministic() {
+        // Deleting a non-existent edge and removing the root are skips.
+        let s = Scenario {
+            seed: 1,
+            k: 1,
+            fault: None,
+            base_labels: vec!["a".into(), "b".into()],
+            base_edges: vec![(0, 1, EdgeKind::Child), (1, 2, EdgeKind::Child)],
+            queries: vec![],
+            ops: vec![
+                ScenarioOp::DeleteEdge { from: 2, to: 1 }, // absent edge
+                ScenarioOp::RemoveNode { node: 0 },        // the root
+                ScenarioOp::RemoveNode { node: 3 },        // 3 % 3 = 0 → root
+            ],
+        };
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.skipped, 3);
+    }
+
+    #[test]
+    fn subtree_ops_round_trip() {
+        let s = Scenario {
+            seed: 2,
+            k: 2,
+            fault: None,
+            base_labels: vec!["a".into()],
+            base_edges: vec![(0, 1, EdgeKind::Child)],
+            queries: vec!["//b".into(), "/a/b/c".into()],
+            ops: vec![
+                ScenarioOp::AddSubtree {
+                    parent: 1,
+                    nodes: vec![("b".into(), 0), ("c".into(), 0), ("c".into(), 1)],
+                },
+                ScenarioOp::RemoveSubtree { root: 2 },
+            ],
+        };
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.applied, 2);
+    }
+}

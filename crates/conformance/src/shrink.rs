@@ -1,0 +1,239 @@
+//! Delta-debugging shrinker for failing scenarios.
+//!
+//! Classic ddmin adapted to the scenario structure. Because op node
+//! references resolve *modulo the live handle list*, deleting arbitrary
+//! op subsets always yields a well-formed scenario — the key property
+//! that makes naive list minimization sound here. The shrinker:
+//!
+//! 1. **truncates** the op tail after the failing step (ops after the
+//!    conviction cannot matter);
+//! 2. runs chunked ddmin over the **op list** (remove chunks of size
+//!    n/2, n/4, …, 1 while the scenario still fails);
+//! 3. ddmin over the **queries** (they only matter for query checks);
+//! 4. ddmin over the **extra base edges** and then the **base nodes**
+//!    (removing a node drops its incident base edges and renumbers the
+//!    rest);
+//! 5. repeats 2–4 to a fixpoint or until the probe budget runs out.
+//!
+//! Following standard ddmin practice, *any* failure keeps a candidate —
+//! the minimized scenario may be convicted by a different check than
+//! the original (both are recorded in [`ShrinkResult`]).
+
+use crate::harness::{run_scenario, Failure};
+use crate::scenario::Scenario;
+use xsi_graph::EdgeKind;
+
+/// The outcome of shrinking: the smallest failing scenario found, what
+/// it fails with now, what the input failed with, and the probe spend.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The minimized scenario (still failing).
+    pub scenario: Scenario,
+    /// The failure of the minimized scenario.
+    pub failure: Failure,
+    /// The failure of the original input scenario.
+    pub original_failure: Failure,
+    /// How many `run_scenario` probes were spent.
+    pub probes: usize,
+}
+
+struct Budget {
+    probes: usize,
+    max: usize,
+}
+
+impl Budget {
+    fn probe(&mut self, s: &Scenario) -> Option<Failure> {
+        if self.probes >= self.max {
+            return None; // budget exhausted ⇒ treat as "does not fail"
+        }
+        self.probes += 1;
+        run_scenario(s).err()
+    }
+}
+
+/// Minimizes `scenario` (which must fail) under a probe budget. Returns
+/// `None` if the input does not actually fail.
+pub fn shrink(scenario: &Scenario, max_probes: usize) -> Option<ShrinkResult> {
+    let original_failure = run_scenario(scenario).err()?;
+    let mut budget = Budget {
+        probes: 1,
+        max: max_probes.max(2),
+    };
+
+    let mut best = scenario.clone();
+    let mut best_failure = original_failure.clone();
+
+    // Step 1: truncate after the failing op.
+    if let Some(step) = best_failure.step {
+        if step + 1 < best.ops.len() {
+            let mut cand = best.clone();
+            cand.ops.truncate(step + 1);
+            if let Some(f) = budget.probe(&cand) {
+                best = cand;
+                best_failure = f;
+            }
+        }
+    }
+
+    // Steps 2–5: fixpoint over the structured passes.
+    loop {
+        let size_before = weight(&best);
+
+        ddmin_field(&mut best, &mut best_failure, &mut budget, |s| &mut s.ops);
+        ddmin_field(&mut best, &mut best_failure, &mut budget, |s| {
+            &mut s.queries
+        });
+        ddmin_field(&mut best, &mut best_failure, &mut budget, |s| {
+            &mut s.base_edges
+        });
+        shrink_base_nodes(&mut best, &mut best_failure, &mut budget);
+
+        if weight(&best) == size_before || budget.probes >= budget.max {
+            break;
+        }
+    }
+
+    Some(ShrinkResult {
+        scenario: best,
+        failure: best_failure,
+        original_failure,
+        probes: budget.probes,
+    })
+}
+
+fn weight(s: &Scenario) -> usize {
+    s.ops.len() + s.queries.len() + s.base_edges.len() + s.base_labels.len()
+}
+
+/// Chunked ddmin over one `Vec` field of the scenario.
+fn ddmin_field<T: Clone>(
+    best: &mut Scenario,
+    best_failure: &mut Failure,
+    budget: &mut Budget,
+    field: impl Fn(&mut Scenario) -> &mut Vec<T>,
+) {
+    let mut chunk = {
+        let len = field(best).len();
+        if len == 0 {
+            return;
+        }
+        (len / 2).max(1)
+    };
+    loop {
+        let len = field(best).len();
+        if len == 0 {
+            break;
+        }
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < field(best).len() {
+            let mut cand = best.clone();
+            {
+                let list = field(&mut cand);
+                let end = (start + chunk).min(list.len());
+                list.drain(start..end);
+            }
+            if let Some(f) = budget.probe(&cand) {
+                *best = cand;
+                *best_failure = f;
+                removed_any = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start += chunk;
+            }
+            if budget.probes >= budget.max {
+                return;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Tries to remove each base node (renumbering base edges; op refs are
+/// modulo-resolved and need no rewrite).
+fn shrink_base_nodes(best: &mut Scenario, best_failure: &mut Failure, budget: &mut Budget) {
+    let mut i = 0;
+    while i < best.base_labels.len() {
+        let cand = without_base_node(best, i);
+        if let Some(f) = budget.probe(&cand) {
+            *best = cand;
+            *best_failure = f;
+            // Same index now names the next node.
+        } else {
+            i += 1;
+        }
+        if budget.probes >= budget.max {
+            return;
+        }
+    }
+}
+
+/// The scenario with base node `i` (handle `i + 1`) removed: its base
+/// edges are dropped and higher handle indices shift down by one.
+fn without_base_node(s: &Scenario, i: usize) -> Scenario {
+    let handle = i + 1;
+    let mut cand = s.clone();
+    cand.base_labels.remove(i);
+    let remap = |h: usize| if h > handle { h - 1 } else { h };
+    cand.base_edges = s
+        .base_edges
+        .iter()
+        .filter(|&&(u, v, _)| u != handle && v != handle)
+        .map(|&(u, v, k)| (remap(u), remap(v), k))
+        .collect::<Vec<(usize, usize, EdgeKind)>>();
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+    use crate::gen::{generate_scenario, GenConfig};
+
+    /// Find a fault-convicted scenario, shrink it, and verify the
+    /// acceptance contract: small reproducer, deterministic replay.
+    #[test]
+    fn shrinks_injected_fault_to_a_small_reproducer() {
+        crate::silence_panics();
+        let mut found = None;
+        for seed in 0..64u64 {
+            let mut s = generate_scenario(seed, &GenConfig::small(seed % 2 == 1));
+            s.fault = Some(FaultSpec::SkipMerge);
+            if run_scenario(&s).is_err() {
+                found = Some(s);
+                break;
+            }
+        }
+        let s = found.expect("skip-merge must be convicted within 64 seeds");
+        let shrunk = shrink(&s, 600).expect("input fails, so shrink returns a result");
+        assert!(
+            run_scenario(&shrunk.scenario).is_err(),
+            "minimized scenario still fails"
+        );
+        assert!(
+            shrunk.scenario.ops.len() <= 10,
+            "acceptance: ≤ 10 ops, got {}",
+            shrunk.scenario.ops.len()
+        );
+        assert!(shrunk.scenario.ops.len() <= s.ops.len());
+        // Deterministic replay through the text format.
+        let replay = shrunk.scenario.to_replay();
+        let back = Scenario::parse_replay(&replay).unwrap();
+        let f1 = run_scenario(&back).expect_err("replay fails");
+        let f2 = run_scenario(&back).expect_err("replay fails again");
+        assert_eq!(f1, f2, "replay is bit-for-bit deterministic");
+    }
+
+    #[test]
+    fn shrink_on_passing_scenario_is_none() {
+        let s = generate_scenario(3, &GenConfig::small(false));
+        assert!(shrink(&s, 50).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! [`DerivedView`]: an [`IndexQueryView`] materialized from any class
+//! assignment.
+//!
+//! The `simple` A(k) baseline maintains extents only — no iedges — so it
+//! exposes no query view of its own. The conformance lab (and the
+//! query-equivalence property suite) still wants to route queries
+//! through it; `DerivedView` bridges the gap by materializing the block
+//! graph that the assignment *induces* on the data graph: one block per
+//! class, one iedge per dedge between classes, label per block from any
+//! member (the harness separately verifies label homogeneity).
+//!
+//! Soundness of `precise_up_to = Some(k)`: the assignment is checked (by
+//! the harness) to be a refinement of exact k-bisimulation. Any such
+//! refinement answers label paths of length ≤ k exactly — every member
+//! of a block is k-bisimilar to every other, so they share all incoming
+//! label paths up to length k, and the induced iedge walk can then
+//! neither over- nor under-approximate short paths. Longer paths and
+//! predicates are handled by `eval_index`'s validation pass, as for the
+//! real A(k)-index.
+
+use std::collections::BTreeSet;
+use xsi_core::IndexQueryView;
+use xsi_graph::{Graph, NodeId};
+
+/// A self-contained block-graph view induced by a class assignment.
+pub struct DerivedView {
+    extents: Vec<Vec<NodeId>>,
+    labels: Vec<String>,
+    isucc: Vec<BTreeSet<u32>>,
+    start: u32,
+    precise: Option<usize>,
+}
+
+impl DerivedView {
+    /// Materializes the view from `classes` (indexed by node slot, as
+    /// produced by `SimpleAkIndex::assignment` or the `reference`
+    /// oracles; dead slots are ignored). `precise` declares the view's
+    /// precision horizon — pass `Some(k)` for an assignment refining
+    /// exact k-bisimulation, `None` for a bisimulation partition.
+    pub fn from_assignment(g: &Graph, classes: &[u32], precise: Option<usize>) -> Self {
+        // Compress the (arbitrary) class ids of live nodes to dense ids.
+        let mut dense: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut extents: Vec<Vec<NodeId>> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        let mut of = vec![u32::MAX; g.capacity()];
+        for n in g.nodes() {
+            let c = classes[n.index()];
+            let id = *dense.entry(c).or_insert_with(|| {
+                extents.push(Vec::new());
+                labels.push(g.label_name(n).to_string());
+                (extents.len() - 1) as u32
+            });
+            extents[id as usize].push(n);
+            of[n.index()] = id;
+        }
+        let mut isucc = vec![BTreeSet::new(); extents.len()];
+        for (u, v, _) in g.edges() {
+            isucc[of[u.index()] as usize].insert(of[v.index()]);
+        }
+        for e in &mut extents {
+            e.sort_unstable();
+        }
+        DerivedView {
+            start: of[g.root().index()],
+            extents,
+            labels,
+            isucc,
+            precise,
+        }
+    }
+
+    /// Number of blocks in the view.
+    pub fn block_count(&self) -> usize {
+        self.extents.len()
+    }
+}
+
+impl IndexQueryView for DerivedView {
+    fn start_block(&self) -> u32 {
+        self.start
+    }
+
+    fn isucc(&self, b: u32) -> Vec<u32> {
+        self.isucc[b as usize].iter().copied().collect()
+    }
+
+    fn label_name(&self, b: u32) -> &str {
+        &self.labels[b as usize]
+    }
+
+    fn extent(&self, b: u32) -> Vec<NodeId> {
+        self.extents[b as usize].clone()
+    }
+
+    fn precise_up_to(&self) -> Option<usize> {
+        self.precise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_core::reference;
+    use xsi_graph::EdgeKind;
+    use xsi_query::{eval_graph, eval_index, PathExpr};
+
+    #[test]
+    fn derived_view_answers_like_the_data_graph() {
+        let mut g = Graph::new();
+        let r = g.root();
+        let a = g.add_node("a", None);
+        let b1 = g.add_node("b", None);
+        let b2 = g.add_node("b", None);
+        let c = g.add_node("c", None);
+        g.insert_edge(r, a, EdgeKind::Child).unwrap();
+        g.insert_edge(a, b1, EdgeKind::Child).unwrap();
+        g.insert_edge(a, b2, EdgeKind::Child).unwrap();
+        g.insert_edge(b1, c, EdgeKind::Child).unwrap();
+        g.insert_edge(c, a, EdgeKind::IdRef).unwrap(); // a cycle
+
+        // Bisimulation assignment → exact for every linear path.
+        let classes = reference::bisim_classes(&g);
+        let view = DerivedView::from_assignment(&g, &classes, None);
+        for q in ["/a", "/a/b", "//b/c", "//*", "/a//c"] {
+            let expr = PathExpr::parse(q).unwrap();
+            let mut expected = eval_graph(&g, &expr);
+            expected.sort_unstable();
+            let got = eval_index(&g, &view, &expr);
+            assert_eq!(got, expected, "query {q}");
+        }
+        assert_eq!(view.block_count(), reference::partition_size(&g, &classes));
+    }
+
+    #[test]
+    fn bounded_precision_triggers_validation() {
+        let mut g = Graph::new();
+        let r = g.root();
+        let a = g.add_node("a", None);
+        let b = g.add_node("b", None);
+        g.insert_edge(r, a, EdgeKind::Child).unwrap();
+        g.insert_edge(a, b, EdgeKind::Child).unwrap();
+        // A(1) classes: still answers the length-2 path exactly because
+        // eval_index validates beyond the horizon.
+        let chain = reference::k_bisim_chain(&g, 1);
+        let view = DerivedView::from_assignment(&g, chain.last().unwrap(), Some(1));
+        let expr = PathExpr::parse("/a/b").unwrap();
+        let mut expected = eval_graph(&g, &expr);
+        expected.sort_unstable();
+        assert_eq!(eval_index(&g, &view, &expr), expected);
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end lab tests: the oracle harness passes on pinned seeds, the
+//! mutation-smoke contract holds (planted bugs are caught, shrunk to
+//! tiny reproducers, and replay deterministically), and replay files
+//! round-trip through the text format.
+//!
+//! All randomness derives from `xsi_workload::test_seed`, so a failing
+//! run can be replayed exactly with e.g.
+//! `XSI_TEST_SEED=0xC0FF cargo test -p xsi-conformance`.
+//! Failure messages always print the derived per-case seed.
+
+use xsi_conformance::{generate_scenario, run_scenario, shrink, FaultSpec, GenConfig, Scenario};
+use xsi_workload::test_seed;
+
+/// The maintained indexes agree with every oracle over a spread of
+/// cyclic and acyclic seed-pinned scenarios.
+#[test]
+fn lab_passes_on_pinned_seeds() {
+    let base = test_seed(0xC0F0);
+    for case in 0..24u64 {
+        let seed = base.wrapping_add(case);
+        let cyclic = case % 2 == 1;
+        let scenario = generate_scenario(seed, &GenConfig::small(cyclic));
+        if let Err(f) = run_scenario(&scenario) {
+            panic!(
+                "seed {seed:#x} (cyclic={cyclic}; replay with XSI_TEST_SEED={seed:#x}): {f}\n\
+                 --- replay ---\n{}",
+                scenario.to_replay()
+            );
+        }
+    }
+}
+
+/// Larger/longer scenarios than the default config, to push node-id
+/// reuse and deep subtree churn through every family.
+#[test]
+fn lab_passes_on_larger_scenarios() {
+    let base = test_seed(0xBEEF);
+    for case in 0..6u64 {
+        let seed = base.wrapping_add(case);
+        let mut cfg = GenConfig::small(case % 2 == 0);
+        cfg.max_base_nodes = 16;
+        cfg.max_extra_edges = 14;
+        cfg.ops = 48;
+        cfg.k = 3;
+        let scenario = generate_scenario(seed, &cfg);
+        if let Err(f) = run_scenario(&scenario) {
+            panic!("seed {seed:#x} (replay with XSI_TEST_SEED={seed:#x}): {f}");
+        }
+    }
+}
+
+fn smoke(fault: FaultSpec) -> (Scenario, xsi_conformance::ShrinkResult) {
+    xsi_conformance::silence_panics();
+    let base = test_seed(1);
+    let mut found = None;
+    for case in 0..128u64 {
+        let seed = base.wrapping_add(case);
+        let mut s = generate_scenario(seed, &GenConfig::small(case % 2 == 1));
+        s.fault = Some(fault);
+        if run_scenario(&s).is_err() {
+            found = Some(s);
+            break;
+        }
+    }
+    let s = found
+        .unwrap_or_else(|| panic!("{fault:?} not convicted within 128 seeds from base {base:#x}"));
+    let shrunk = shrink(&s, 500).expect("input fails, so shrinking succeeds");
+    (s, shrunk)
+}
+
+/// Acceptance: a planted skip-merge bug is caught and shrinks to a
+/// reproducer of at most 10 ops that replays deterministically from its
+/// emitted replay text.
+#[test]
+fn mutation_smoke_skip_merge() {
+    let (original, shrunk) = smoke(FaultSpec::SkipMerge);
+    assert!(
+        shrunk.scenario.ops.len() <= 10,
+        "got {} ops",
+        shrunk.scenario.ops.len()
+    );
+    assert!(shrunk.scenario.ops.len() <= original.ops.len());
+    let replay = shrunk.scenario.to_replay();
+    let back = Scenario::parse_replay(&replay).unwrap();
+    let f1 = run_scenario(&back).expect_err("replay still fails");
+    let f2 = run_scenario(&back).expect_err("replay fails twice");
+    assert_eq!(f1, f2, "deterministic replay");
+}
+
+/// Same acceptance contract for the dropped-deletion fault, which is
+/// detected through a different path (validity/consistency, or the
+/// engine's paranoid self-check when that feature is unified in).
+#[test]
+fn mutation_smoke_drop_edge_delete() {
+    let (_, shrunk) = smoke(FaultSpec::DropEdgeDelete { period: 2 });
+    assert!(
+        shrunk.scenario.ops.len() <= 10,
+        "got {} ops",
+        shrunk.scenario.ops.len()
+    );
+    let back = Scenario::parse_replay(&shrunk.scenario.to_replay()).unwrap();
+    let f1 = run_scenario(&back).expect_err("replay still fails");
+    let f2 = run_scenario(&back).expect_err("replay fails twice");
+    assert_eq!(f1, f2);
+}
+
+/// The emitted regression test skeleton embeds a replay that parses and
+/// reproduces.
+#[test]
+fn regression_test_emission_is_replayable() {
+    let (_, shrunk) = smoke(FaultSpec::SkipMerge);
+    let code = shrunk
+        .scenario
+        .to_regression_test("repro_demo", &shrunk.failure.to_string());
+    // Extract the embedded replay from the generated source and run it.
+    let start = code.find("r#\"").expect("raw string start") + 3;
+    let end = code[start..].find("\"#").expect("raw string end") + start;
+    let embedded = &code[start..end];
+    let s = Scenario::parse_replay(embedded).unwrap();
+    assert!(
+        run_scenario(&s).is_err(),
+        "embedded replay reproduces the failure"
+    );
+}
+
+/// Regression found by the lab itself (xsi-fuzz seed 0x32): a cyclic
+/// base graph whose minimum 1-index carries a self-loop iedge used to
+/// panic `reconstruct_1index` during the final rebuild phase.
+#[test]
+fn repro_0x32_self_loop_iedge_rebuild() {
+    let replay = "xsi-conformance-replay v1\n\
+                  seed 0x32\n\
+                  k 2\n\
+                  base-node c\n\
+                  base-node c\n\
+                  base-edge 0 1 child\n\
+                  base-edge 1 2 child\n\
+                  base-edge 2 1 idref\n\
+                  base-edge 0 2 child\n\
+                  end\n";
+    let s = Scenario::parse_replay(replay).unwrap();
+    if let Err(f) = run_scenario(&s) {
+        panic!("conformance regression: {f}");
+    }
+}

@@ -149,16 +149,26 @@ impl SimpleAkIndex {
     /// a fresh singleton block. (Refinement-safety is preserved either
     /// way; joining twins keeps the index from fragmenting on add-heavy
     /// workloads exactly like a reconstruction would.)
+    ///
+    /// When several candidate twin blocks exist (the split-only algorithm
+    /// never re-merges them) the one with the smallest id is chosen, so
+    /// two instances fed the same update stream stay bit-identical —
+    /// `HashMap` iteration order must not leak into index state (the
+    /// conformance lab's deterministic replay depends on this).
     pub fn on_node_added(&mut self, g: &Graph, n: NodeId) {
         if self.node_block.len() < g.capacity() {
             self.node_block.resize(g.capacity(), UNASSIGNED);
         }
         debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);
         let label = g.label(n);
-        let twin = self.members.iter().find_map(|(&b, extent)| {
-            let &rep = extent.first()?;
-            (g.label(rep) == label && extent.iter().all(|&m| g.in_degree(m) == 0)).then_some(b)
-        });
+        let twin = self
+            .members
+            .iter()
+            .filter_map(|(&b, extent)| {
+                let &rep = extent.first()?;
+                (g.label(rep) == label && extent.iter().all(|&m| g.in_degree(m) == 0)).then_some(b)
+            })
+            .min();
         let b = twin.unwrap_or_else(|| {
             let b = self.next_block;
             self.next_block += 1;
@@ -232,15 +242,23 @@ impl SimpleAkIndex {
     /// an affected node by true k-bisimilarity. Refinement only: each
     /// affected inode keeps its id for the largest resulting group and
     /// spawns fresh ids for the others.
+    ///
+    /// Touched blocks are processed in ascending id order and group-size
+    /// ties broken by smallest member, so fresh-id allocation — and with
+    /// it the whole index state — is a pure function of the update
+    /// stream, never of `HashMap`/`HashSet` iteration order. Determinism
+    /// here is what makes conformance-lab reproducers replay exactly.
     fn repartition_affected(&mut self, g: &Graph, v: NodeId) {
         if self.node_block.len() < g.capacity() {
             self.node_block.resize(g.capacity(), UNASSIGNED);
         }
         let affected = bfs_descendants(g, v, self.k.saturating_sub(1));
-        let touched: std::collections::HashSet<u32> = affected
+        let mut touched: Vec<u32> = affected
             .iter()
             .map(|w| self.node_block[w.index()])
             .collect();
+        touched.sort_unstable();
+        touched.dedup();
         // Re-partition each touched inode by k-bisim signature.
         let mut memo = SignatureMemo::new(g.capacity(), self.k, self.memoize);
         for block in touched {
@@ -258,9 +276,10 @@ impl SimpleAkIndex {
             if groups.len() <= 1 {
                 continue;
             }
-            // Largest group keeps the old id; the rest get fresh ids.
+            // Largest group keeps the old id; the rest get fresh ids in
+            // deterministic (size, then smallest-member) order.
             let mut groups: Vec<Vec<NodeId>> = groups.into_values().collect();
-            groups.sort_by_key(|grp| std::cmp::Reverse(grp.len()));
+            groups.sort_by_key(|grp| (std::cmp::Reverse(grp.len()), grp.iter().min().copied()));
             for grp in groups.drain(1..) {
                 let fresh = self.next_block;
                 self.next_block += 1;

@@ -27,6 +27,13 @@
 //! edge deletion): the engine deletes each incident edge through the
 //! normal fan-out, then runs `on_node_removing` on every index, then
 //! removes the node from the graph.
+//!
+//! With the `paranoid` cargo feature the engine additionally re-runs the
+//! trait-level consistency checker ([`UpdateEngine::check`]) and the
+//! graph's own invariant check after every mutation, panicking on the
+//! first violation — the conformance lab's and test suite's safety net
+//! (see `crates/conformance`). The checks are compiled out entirely in
+//! default builds.
 
 use crate::batch::{self, BatchError, BatchResult, UpdateOp};
 use crate::index::StructuralIndex;
@@ -172,6 +179,7 @@ impl UpdateEngine {
         }
         self.stats.update_time += t.elapsed();
         self.stats.ops += 1;
+        self.paranoid_check("add_node");
         n
     }
 
@@ -231,6 +239,7 @@ impl UpdateEngine {
         self.stats.update_time += t.elapsed();
         self.g.remove_node(n)?;
         self.stats.ops += 1;
+        self.paranoid_check("remove_node");
         Ok(total)
     }
 
@@ -262,6 +271,7 @@ impl UpdateEngine {
             self.stats.absorb_op(s);
         }
         self.run_policies();
+        self.paranoid_check("apply_batch");
         Ok(result)
     }
 
@@ -298,7 +308,25 @@ impl UpdateEngine {
         self.stats.update_time += t.elapsed();
         self.stats.ops += 1;
         self.run_policies();
+        self.paranoid_check("edge op");
         total
+    }
+
+    /// `paranoid` feature: full self-check after every mutation. Panics
+    /// on the first violation so the failing operation is caught at the
+    /// op that corrupted state, not at the end of a long sequence. A
+    /// no-op (compiled out) without the feature.
+    #[inline]
+    fn paranoid_check(&self, _context: &str) {
+        #[cfg(feature = "paranoid")]
+        {
+            if let Err(e) = self.g.check_consistency() {
+                panic!("paranoid ({_context}): graph inconsistent: {e}");
+            }
+            if let Err(e) = self.check() {
+                panic!("paranoid ({_context}): index check failed: {e}");
+            }
+        }
     }
 
     /// Triggers policy-driven reconstructions where the growth threshold

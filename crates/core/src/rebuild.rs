@@ -22,6 +22,17 @@ use xsi_graph::{EdgeKind, Graph, NodeId};
 /// Reconstructs the minimum 1-index from a (valid) current index by
 /// building an index over the index graph and expanding extents.
 pub fn reconstruct_1index(g: &Graph, current: &OneIndex) -> OneIndex {
+    // A block whose extent has internal dedges carries a self-loop
+    // iedge — possible only on cyclic data (e.g. two mutually-referencing
+    // bisimilar nodes sharing a block). [`Graph`] cannot represent
+    // self-loops (Section 5.1 assumes self-cycle-free *data*, and the
+    // index graph here is recycled as a data graph), so the
+    // index-of-index shortcut is unavailable; reconstruct from the data
+    // graph instead. Found by the conformance lab (xsi-fuzz seed 0x32):
+    // the old code panicked on `insert_edge(..) == Err(SelfLoop)`.
+    if current.blocks().any(|b| current.has_iedge(b, b)) {
+        return OneIndex::build(g);
+    }
     // Materialize the index graph: one node per inode, labels preserved,
     // one edge per iedge.
     let mut ig = Graph::new();
@@ -187,5 +198,29 @@ mod cyclic_tests {
         let rebuilt = reconstruct_1index(&g, &idx);
         assert_eq!(rebuilt.block_count(), min);
         rebuilt.partition().check_consistency(&g).unwrap();
+    }
+
+    /// Regression (found by the conformance lab, xsi-fuzz seed 0x32):
+    /// two mutually-referencing bisimilar nodes share a block, giving
+    /// the minimum index a self-loop iedge. Reconstruction used to
+    /// panic materializing it (`Graph` forbids self-loops); it must
+    /// fall back to a data-graph build instead.
+    #[test]
+    fn reconstruct_handles_self_loop_iedges() {
+        let (g, _) = GraphBuilder::new()
+            .nodes(&[(1, "c"), (2, "c")])
+            .edges(&[(1, 2)])
+            .idref_edges(&[(2, 1)])
+            .root_to(1)
+            .root_to(2)
+            .build_with_ids();
+        let idx = OneIndex::build(&g);
+        // The two "c" nodes are bisimilar ⇒ one block with a self-loop.
+        assert_eq!(idx.block_count(), 2);
+        let b = idx.blocks().find(|&b| idx.extent(b).len() == 2).unwrap();
+        assert!(idx.has_iedge(b, b), "precondition: self-loop iedge");
+        let rebuilt = reconstruct_1index(&g, &idx);
+        rebuilt.partition().check_consistency(&g).unwrap();
+        assert_eq!(rebuilt.canonical(), idx.canonical());
     }
 }

@@ -27,6 +27,6 @@ pub mod xmark;
 
 pub use dblp::{generate_dblp, DblpParams};
 pub use imdb::{generate_imdb, ImdbParams};
-pub use rng::SplitMix64;
+pub use rng::{parse_seed, test_seed, SplitMix64};
 pub use updates::{collect_subtree_roots, EdgePool};
 pub use xmark::{generate_xmark, XmarkParams};

@@ -86,6 +86,40 @@ impl SplitMix64 {
     }
 }
 
+/// Resolves the seed a randomized test should run with: the value of the
+/// `XSI_TEST_SEED` environment variable when set (decimal, or hex with a
+/// `0x` prefix), otherwise `default_seed`.
+///
+/// Every randomized suite in this workspace derives its stream from this
+/// function and **prints the resolved seed in its failure messages**, so
+/// a red run can be replayed exactly:
+///
+/// ```text
+/// XSI_TEST_SEED=0xDEADBEEF cargo test -p xsi-tests engine_equivalence
+/// ```
+///
+/// Tests that loop over many cases should derive per-case seeds from the
+/// base seed deterministically (e.g. `base.wrapping_add(case)`) and
+/// report the *derived* seed, which replays the single failing case.
+pub fn test_seed(default_seed: u64) -> u64 {
+    match std::env::var("XSI_TEST_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| {
+            panic!("XSI_TEST_SEED={s:?} is not a valid u64 (decimal or 0x-hex)")
+        }),
+        Err(_) => default_seed,
+    }
+}
+
+/// Parses a seed string: decimal, or hexadecimal with a `0x`/`0X` prefix.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 /// Ranges [`SplitMix64::random_range`] can sample from.
 pub trait SampleRange {
     /// The sampled value's type.
@@ -179,6 +213,21 @@ mod tests {
         assert!((2_700..3_300).contains(&hits), "got {hits}");
         assert!((0..100).all(|_| !r.random_bool(0.0)));
         assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0xE9E9 "), Some(0xE9E9));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+        // Without the env var the default passes through. (We do not set
+        // the variable here — tests run in one process and the override
+        // is global by design.)
+        if std::env::var("XSI_TEST_SEED").is_err() {
+            assert_eq!(test_seed(7), 7);
+        }
     }
 
     #[test]
