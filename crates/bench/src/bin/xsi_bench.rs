@@ -1,0 +1,173 @@
+//! `xsi-bench` — instrumented update-pipeline benchmark with metrics
+//! and trace export.
+//!
+//! Drives a mixed insert/delete workload through the [`UpdateEngine`]
+//! with the observability layer enabled, then exports:
+//!
+//! * `--metrics-out <path>` — a BENCH_*.json-compatible summary object
+//!   embedding run metadata, engine stats, and the full metrics
+//!   registry (`format: "xsi-metrics-v1"`).
+//! * `--trace-out <path>` — the event stream as JSON Lines (one object
+//!   per event, streamed through [`JsonlWriter`]).
+//! * `--prom-out <path>` — Prometheus text exposition of the same
+//!   registry.
+//!
+//! Validate the outputs offline with the sibling `xsi-metrics-check`
+//! binary.
+//!
+//! ```text
+//! cargo run --release -p xsi-bench --bin xsi_bench -- \
+//!     --scale 0.05 --pairs 2000 --metrics-out m.json --trace-out t.jsonl
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::time::Instant;
+
+use xsi_bench::cli::Args;
+use xsi_core::obs::json::escape_into;
+use xsi_core::{AkIndex, FlightRecorder, JsonlWriter, OneIndex, PropagateOneIndex, UpdateEngine};
+use xsi_graph::EdgeKind;
+use xsi_workload::updates::EdgePool;
+use xsi_workload::xmark::{generate_xmark, XmarkParams};
+
+fn main() {
+    let args = Args::parse_env();
+    let scale = args.f64("scale", 0.05);
+    let seed = args.u64("seed", 42);
+    let pairs = args.usize("pairs", 2000);
+    let k = args.usize("k", 2);
+    let flight_cap = args.usize("flight-cap", 256);
+    let metrics_out = args.str("metrics-out").map(str::to_owned);
+    let trace_out = args.str("trace-out").map(str::to_owned);
+    let prom_out = args.str("prom-out").map(str::to_owned);
+
+    let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
+    let mut pool = EdgePool::extract(&mut g, 0.2, seed);
+    let nodes_initial = g.node_count();
+    let edges_initial = g.edge_count();
+    eprintln!(
+        "xsi-bench: xmark scale={} seed={} -> {} nodes / {} edges ({} pooled)",
+        scale,
+        seed,
+        nodes_initial,
+        edges_initial,
+        pool.pool_len()
+    );
+
+    let mut engine = UpdateEngine::new(g);
+    engine.register(Box::new(OneIndex::build(engine.graph())));
+    engine.register(Box::new(AkIndex::build(engine.graph(), k)));
+    engine.register(Box::new(PropagateOneIndex::build(engine.graph())));
+
+    // Metrics always on for this binary; the recorder depends on flags.
+    engine.obs_mut().enable_metrics();
+    let streaming_trace = trace_out.is_some();
+    if streaming_trace {
+        let path = trace_out.as_deref().unwrap();
+        let f = File::create(path).unwrap_or_else(|e| {
+            eprintln!("xsi-bench: cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let families = engine.obs().families().to_vec();
+        engine
+            .obs_mut()
+            .set_recorder(Box::new(JsonlWriter::new(BufWriter::new(f), families)));
+    } else {
+        engine
+            .obs_mut()
+            .set_recorder(Box::new(FlightRecorder::new(flight_cap)));
+    }
+
+    // Mixed workload: alternate insert/delete of pooled IDREF edges,
+    // exactly the Figure 11 regime but driven through the engine.
+    let t0 = Instant::now();
+    let mut applied = 0usize;
+    for _ in 0..pairs {
+        if let Some((u, v)) = pool.next_insert() {
+            engine
+                .insert_edge(u, v, EdgeKind::IdRef)
+                .expect("pooled insert");
+            applied += 1;
+        }
+        if let Some((u, v)) = pool.next_delete() {
+            engine.delete_edge(u, v).expect("pooled delete");
+            applied += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    eprintln!(
+        "xsi-bench: {} ops in {:.3}s ({:.1} ops/s)",
+        applied,
+        wall.as_secs_f64(),
+        applied as f64 / wall.as_secs_f64().max(1e-9)
+    );
+
+    engine.obs_mut().flush();
+
+    if let Some(path) = prom_out.as_deref() {
+        let text = engine.obs().metrics_prometheus();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("xsi-bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("xsi-bench: wrote prometheus text to {path}");
+    }
+
+    if let Some(path) = metrics_out.as_deref() {
+        let metrics = engine.obs().metrics_json();
+        let stats = engine.stats();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"format\": \"xsi-metrics-v1\",\n");
+        out.push_str("  \"bench\": \"xsi_bench\",\n");
+        out.push_str("  \"workload\": \"xmark\",\n");
+        out.push_str(&format!("  \"scale\": {scale},\n"));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"pairs\": {pairs},\n"));
+        out.push_str(&format!("  \"k\": {k},\n"));
+        out.push_str(&format!("  \"nodes_initial\": {nodes_initial},\n"));
+        out.push_str(&format!("  \"edges_initial\": {edges_initial},\n"));
+        out.push_str(&format!("  \"ops_applied\": {applied},\n"));
+        out.push_str(&format!("  \"wall_seconds\": {:.6},\n", wall.as_secs_f64()));
+        out.push_str(&format!("  \"engine_ops\": {},\n", stats.ops));
+        out.push_str(&format!(
+            "  \"engine_update_seconds\": {:.6},\n",
+            stats.update_time.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"events_emitted\": {},\n",
+            engine.obs().events_emitted()
+        ));
+        out.push_str("  \"families\": [");
+        for (i, name) in engine.obs().families().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            escape_into(name, &mut out);
+            out.push('"');
+        }
+        out.push_str("],\n");
+        out.push_str("  \"metrics\": ");
+        out.push_str(&metrics);
+        out.push_str("\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("xsi-bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("xsi-bench: wrote metrics to {path}");
+    }
+
+    if streaming_trace {
+        // Dropping the recorder flushes the BufWriter; any latched I/O
+        // error was already reported through `flush` above.
+        if let Some(rec) = engine.obs_mut().take_recorder() {
+            drop(rec);
+        }
+        eprintln!(
+            "xsi-bench: wrote trace to {}",
+            trace_out.as_deref().unwrap()
+        );
+    }
+}

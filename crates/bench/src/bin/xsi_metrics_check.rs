@@ -1,0 +1,185 @@
+//! `xsi-metrics-check` — offline schema validator for `xsi_bench`
+//! outputs. No network, no external deps: parses with the in-repo JSON
+//! reader and exits non-zero on the first violation.
+//!
+//! ```text
+//! xsi_metrics_check --metrics m.json [--trace t.jsonl] [--prom m.prom]
+//! ```
+
+use std::process::ExitCode;
+
+use xsi_bench::cli::Args;
+use xsi_core::obs::json::Json;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("xsi-metrics-check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse_env();
+    let Some(metrics_path) = args.str("metrics") else {
+        return fail("--metrics <path> is required");
+    };
+
+    let text = match std::fs::read_to_string(metrics_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{metrics_path}: not valid JSON: {e}")),
+    };
+
+    // Envelope keys written by xsi_bench.
+    if v.get("format").and_then(Json::as_str) != Some("xsi-metrics-v1") {
+        return fail("format must be \"xsi-metrics-v1\"");
+    }
+    for key in [
+        "bench",
+        "workload",
+        "scale",
+        "seed",
+        "pairs",
+        "nodes_initial",
+        "edges_initial",
+        "ops_applied",
+        "wall_seconds",
+        "engine_ops",
+        "engine_update_seconds",
+        "events_emitted",
+        "families",
+        "metrics",
+    ] {
+        if v.get(key).is_none() {
+            return fail(&format!("missing envelope key {key:?}"));
+        }
+    }
+    let Some(families) = v.get("families").and_then(Json::as_arr) else {
+        return fail("families must be an array");
+    };
+    if families.is_empty() {
+        return fail("families array is empty");
+    }
+
+    // Registry body: counters / gauges / histograms arrays with the
+    // shapes `MetricsRegistry::to_json` promises.
+    let Some(metrics) = v.get("metrics") else {
+        return fail("missing metrics object");
+    };
+    for section in ["counters", "gauges", "histograms"] {
+        let Some(arr) = metrics.get(section).and_then(Json::as_arr) else {
+            return fail(&format!("metrics.{section} must be an array"));
+        };
+        for (i, entry) in arr.iter().enumerate() {
+            if entry.get("name").and_then(Json::as_str).is_none() {
+                return fail(&format!("metrics.{section}[{i}]: missing name"));
+            }
+            if section == "histograms" {
+                for k in ["count", "sum", "max", "p50", "p90", "p99"] {
+                    if entry.get(k).and_then(Json::as_f64).is_none() {
+                        return fail(&format!(
+                            "metrics.{section}[{i}] ({}): missing {k}",
+                            entry.get("name").and_then(Json::as_str).unwrap_or("?")
+                        ));
+                    }
+                }
+            } else if entry.get("value").and_then(Json::as_f64).is_none() {
+                return fail(&format!("metrics.{section}[{i}]: missing value"));
+            }
+        }
+    }
+    let counters = metrics.get("counters").and_then(Json::as_arr).unwrap();
+    let has_ops_total = counters
+        .iter()
+        .any(|c| c.get("name").and_then(Json::as_str) == Some("ops_total"));
+    if !has_ops_total {
+        return fail("metrics.counters: no ops_total series");
+    }
+    println!(
+        "xsi-metrics-check: {metrics_path}: ok ({} counters, {} gauges, {} histograms)",
+        counters.len(),
+        metrics.get("gauges").and_then(Json::as_arr).unwrap().len(),
+        metrics
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len()
+    );
+
+    // Optional JSONL trace: every line parses, carries the event keys,
+    // and seq is strictly increasing.
+    if let Some(trace_path) = args.str("trace") {
+        let text = match std::fs::read_to_string(trace_path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
+        };
+        let mut last_seq: Option<u64> = None;
+        let mut lines = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(ev) = Json::parse(line) else {
+                return fail(&format!("{trace_path}:{}: not valid JSON", i + 1));
+            };
+            let Some(seq) = ev.get("seq").and_then(Json::as_u64) else {
+                return fail(&format!("{trace_path}:{}: missing seq", i + 1));
+            };
+            if ev.get("callsite").and_then(Json::as_u64).is_none() {
+                return fail(&format!("{trace_path}:{}: missing callsite", i + 1));
+            }
+            if ev.get("kind").and_then(Json::as_str).is_none() {
+                return fail(&format!("{trace_path}:{}: missing kind", i + 1));
+            }
+            if let Some(prev) = last_seq {
+                if seq <= prev {
+                    return fail(&format!(
+                        "{trace_path}:{}: seq {seq} not increasing (prev {prev})",
+                        i + 1
+                    ));
+                }
+            }
+            last_seq = Some(seq);
+            lines += 1;
+        }
+        if lines == 0 {
+            return fail(&format!("{trace_path}: empty trace"));
+        }
+        println!("xsi-metrics-check: {trace_path}: ok ({lines} events)");
+    }
+
+    // Optional Prometheus text: HELP/TYPE precede each series and every
+    // sample line carries the xsi_ prefix.
+    if let Some(prom_path) = args.str("prom") {
+        let text = match std::fs::read_to_string(prom_path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {prom_path}: {e}")),
+        };
+        let mut samples = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                if !(rest.starts_with("HELP xsi_") || rest.starts_with("TYPE xsi_")) {
+                    return fail(&format!("{prom_path}:{}: bad comment line", i + 1));
+                }
+                continue;
+            }
+            if !line.starts_with("xsi_") {
+                return fail(&format!(
+                    "{prom_path}:{}: sample without xsi_ prefix",
+                    i + 1
+                ));
+            }
+            samples += 1;
+        }
+        if samples == 0 {
+            return fail(&format!("{prom_path}: no samples"));
+        }
+        println!("xsi-metrics-check: {prom_path}: ok ({samples} samples)");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -27,7 +27,8 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 use xsi_conformance::{
-    generate_scenario, run_scenario, shrink, silence_panics, FaultSpec, GenConfig, Scenario,
+    generate_scenario, run_scenario, run_scenario_traced, shrink, silence_panics, FaultSpec,
+    GenConfig, Scenario,
 };
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -203,7 +204,15 @@ fn report_failure(scenario: &Scenario, args: &Args) -> i32 {
         result.probes,
         result.failure
     );
-    match write_repro(&result.scenario, &result.failure.to_string(), &args.out) {
+    // Re-run the shrunken scenario with the flight recorder on so the
+    // reproducer carries the engine's own account of the failing op.
+    let (_, trace) = run_scenario_traced(&result.scenario);
+    match write_repro(
+        &result.scenario,
+        &result.failure.to_string(),
+        &trace,
+        &args.out,
+    ) {
         Ok((txt, _rs)) => {
             println!("reproducer: {}", txt.display());
             println!("replay with: xsi-fuzz --replay {}", txt.display());
@@ -217,6 +226,7 @@ fn report_failure(scenario: &Scenario, args: &Args) -> i32 {
 fn write_repro(
     scenario: &Scenario,
     failure: &str,
+    trace: &[String],
     out: &std::path::Path,
 ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
     std::fs::create_dir_all(out)?;
@@ -228,7 +238,18 @@ fn write_repro(
     let stem = format!("repro-{:#x}{fault_tag}", scenario.seed);
     let txt = out.join(format!("{stem}.txt"));
     let rs = out.join(format!("{stem}.rs"));
-    std::fs::File::create(&txt)?.write_all(scenario.to_replay().as_bytes())?;
+    let mut body = scenario.to_replay();
+    if !trace.is_empty() {
+        body.push_str(&format!(
+            "# flight-recorder trace: last {} engine events before the conviction\n\
+             # (informational; `--replay` re-derives and cross-checks it)\n",
+            trace.len()
+        ));
+        for line in trace {
+            body.push_str(&format!("trace {line}\n"));
+        }
+    }
+    std::fs::File::create(&txt)?.write_all(body.as_bytes())?;
     let test_name = format!("repro_{:x}{}", scenario.seed, fault_tag.replace('-', "_"));
     std::fs::File::create(&rs)?
         .write_all(scenario.to_regression_test(&test_name, failure).as_bytes())?;
@@ -250,7 +271,28 @@ fn replay_mode(path: &std::path::Path) -> i32 {
             return 2;
         }
     };
-    match (scenario.fault.is_some(), run_scenario(&scenario)) {
+    let embedded = Scenario::embedded_trace(&text);
+    let (outcome, regenerated) = run_scenario_traced(&scenario);
+    // A still-failing replay must regenerate the trace the reproducer
+    // carries: the run is deterministic, so any divergence means the
+    // engine no longer takes the recorded path. A passing replay (the
+    // bug was fixed) runs further than the recorded conviction, so the
+    // embedded trace is informational only there.
+    if !embedded.is_empty() && outcome.is_err() && embedded != regenerated {
+        println!(
+            "replay FAILED: regenerated trace ({} events) diverges from the embedded one ({})",
+            regenerated.len(),
+            embedded.len()
+        );
+        for (i, (e, r)) in embedded.iter().zip(regenerated.iter()).enumerate() {
+            if e != r {
+                println!("  first divergence at trace line {i}:\n    embedded:    {e}\n    regenerated: {r}");
+                break;
+            }
+        }
+        return 1;
+    }
+    match (scenario.fault.is_some(), outcome) {
         (false, Ok(report)) => {
             println!(
                 "replay ok: {} ops applied, {} checks",
@@ -323,17 +365,28 @@ fn smoke_one(name: &str, fault: FaultSpec, args: &Args) -> Result<String, String
         ));
     }
 
-    // 3. Write the reproducer and replay it from disk.
-    let (txt, rs) = write_repro(&result.scenario, &result.failure.to_string(), &args.out)
-        .map_err(|e| format!("cannot write reproducer: {e}"))?;
+    // 3. Write the reproducer (with its flight-recorder trace) and
+    //    replay it from disk.
+    let (_, trace) = run_scenario_traced(&result.scenario);
+    if trace.is_empty() {
+        return Err("traced re-run produced an empty flight-recorder trace".into());
+    }
+    let (txt, rs) = write_repro(
+        &result.scenario,
+        &result.failure.to_string(),
+        &trace,
+        &args.out,
+    )
+    .map_err(|e| format!("cannot write reproducer: {e}"))?;
     let text = std::fs::read_to_string(&txt).map_err(|e| e.to_string())?;
+    if Scenario::embedded_trace(&text).is_empty() {
+        return Err("written reproducer carries no trace section".into());
+    }
     let replayed = Scenario::parse_replay(&text).map_err(|e| format!("reproducer reparse: {e}"))?;
-    let f1 = run_scenario(&replayed)
-        .err()
-        .ok_or("replayed reproducer passed")?;
-    let f2 = run_scenario(&replayed)
-        .err()
-        .ok_or("second replay passed")?;
+    let (o1, t1) = run_scenario_traced(&replayed);
+    let f1 = o1.err().ok_or("replayed reproducer passed")?;
+    let (o2, t2) = run_scenario_traced(&replayed);
+    let f2 = o2.err().ok_or("second replay passed")?;
     if f1 != f2 {
         return Err(format!("replay is not deterministic: {f1} vs {f2}"));
     }
@@ -343,13 +396,20 @@ fn smoke_one(name: &str, fault: FaultSpec, args: &Args) -> Result<String, String
             f1.check, result.failure.check
         ));
     }
+    if t1 != t2 {
+        return Err("replayed traces diverge between identical runs".into());
+    }
+    if t1 != trace {
+        return Err("replayed trace diverges from the embedded one".into());
+    }
 
     Ok(format!(
-        "caught as '{}', shrunk {} → {} ops in {} probes, replayed from {} (test: {})",
+        "caught as '{}', shrunk {} → {} ops in {} probes, {} trace events, replayed from {} (test: {})",
         result.failure.check,
         scenario.ops.len(),
         result.scenario.ops.len(),
         result.probes,
+        trace.len(),
         txt.display(),
         rs.display(),
     ))

@@ -29,9 +29,10 @@ use crate::scenario::{Scenario, ScenarioOp};
 use crate::view::DerivedView;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use xsi_core::obs::event::EventPayload;
 use xsi_core::{
-    check, reference, AkIndex, IndexHandle, NodeRef, OneIndex, PropagateOneIndex, SimpleAkIndex,
-    StructuralIndex, UpdateEngine, UpdateOp,
+    check, reference, AkIndex, FlightRecorder, IndexHandle, NodeRef, OneIndex, PropagateOneIndex,
+    SimpleAkIndex, StructuralIndex, UpdateEngine, UpdateOp,
 };
 use xsi_graph::{is_acyclic, EdgeKind, Graph, NodeId};
 use xsi_query::{eval_graph, eval_index, PathExpr};
@@ -76,9 +77,32 @@ struct Handles {
     simple: IndexHandle,
 }
 
+/// How many flight-recorder events a traced run retains (and therefore
+/// how many `trace` lines a reproducer can carry).
+pub const TRACE_CAP: usize = 256;
+
 /// Runs `scenario` end to end. `Ok` means every per-op and final oracle
 /// agreed; `Err` carries the first divergence.
 pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
+    run_scenario_impl(scenario, false).0
+}
+
+/// Like [`run_scenario`], but with the engine's flight recorder enabled
+/// ([`TRACE_CAP`] events). Returns the run outcome together with the
+/// engine's own account of the tail of the run: the retained events'
+/// deterministic [`stable_line`](xsi_core::obs::event::Event::stable_line)
+/// projections (timestamps excluded), oldest first. The trace is
+/// captured just before the final rebuild phase — on a conviction it
+/// ends with the `oracle-check ... failed=true` event for the failing
+/// op — and is byte-identical across replays of the same scenario.
+pub fn run_scenario_traced(scenario: &Scenario) -> (Result<RunReport, Failure>, Vec<String>) {
+    run_scenario_impl(scenario, true)
+}
+
+fn run_scenario_impl(
+    scenario: &Scenario,
+    traced: bool,
+) -> (Result<RunReport, Failure>, Vec<String>) {
     let mut g = Graph::new();
     let mut handles: Vec<NodeId> = vec![g.root()];
     for label in &scenario.base_labels {
@@ -106,6 +130,11 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
     let simple = SimpleAkIndex::build(&g, scenario.k);
 
     let mut engine = UpdateEngine::new(g);
+    if traced {
+        engine
+            .obs_mut()
+            .set_recorder(Box::new(FlightRecorder::new(TRACE_CAP)));
+    }
     let hs = Handles {
         one: engine.register(one),
         prop: engine.register(Box::new(prop)),
@@ -140,19 +169,36 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
             report.checks += checks;
             Ok(true)
         }));
+        // One OracleCheck event per attempted op (skips included): the
+        // reproducer trace shows exactly how far the oracles got.
+        let failed = !matches!(outcome, Ok(Ok(_)));
+        engine.obs_mut().emit(EventPayload::OracleCheck {
+            checks: u32::try_from(report.checks).unwrap_or(u32::MAX),
+            failed,
+        });
         match outcome {
             Ok(Ok(true)) => report.applied += 1,
             Ok(Ok(false)) => report.skipped += 1,
-            Ok(Err(failure)) => return Err(failure),
+            Ok(Err(failure)) => {
+                let trace = engine.obs().stable_trace();
+                return (Err(failure), trace);
+            }
             Err(payload) => {
-                return Err(Failure {
-                    step: Some(i),
-                    check: "panic".into(),
-                    detail: panic_message(payload),
-                })
+                let trace = engine.obs().stable_trace();
+                return (
+                    Err(Failure {
+                        step: Some(i),
+                        check: "panic".into(),
+                        detail: panic_message(payload),
+                    }),
+                    trace,
+                );
             }
         }
     }
+
+    // The final phase consumes the engine; snapshot the trace first.
+    let trace = engine.obs().stable_trace();
 
     // Final phase: rebuild must restore the family minimum everywhere.
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<usize, Failure> {
@@ -162,7 +208,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
             detail,
         })
     }));
-    match outcome {
+    let result = match outcome {
         Ok(Ok(checks)) => {
             report.checks += checks;
             Ok(report)
@@ -173,7 +219,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, Failure> {
             check: "panic".into(),
             detail: panic_message(payload),
         }),
-    }
+    };
+    (result, trace)
 }
 
 /// Extracts a printable message from a caught panic payload.

@@ -45,7 +45,7 @@ pub mod view;
 
 pub use fault::{FaultSpec, FaultyOneIndex};
 pub use gen::{generate_scenario, GenConfig};
-pub use harness::{run_scenario, Failure, RunReport};
+pub use harness::{run_scenario, run_scenario_traced, Failure, RunReport, TRACE_CAP};
 pub use scenario::{Scenario, ScenarioOp};
 pub use shrink::{shrink, ShrinkResult};
 pub use view::DerivedView;

@@ -180,6 +180,14 @@ impl Scenario {
         let mut saw_end = false;
         for line in lines {
             if saw_end {
+                // Reproducers append the engine's flight-recorder trace
+                // after `end` as informational `trace` directives; the
+                // scenario itself never depends on them, so they are
+                // skipped here (forward-compatible parsing). Anything
+                // else after `end` is still an error.
+                if line == "trace" || line.starts_with("trace ") {
+                    continue;
+                }
                 return Err(format!("content after end: {line:?}"));
             }
             let (dir, rest) = line.split_once(' ').unwrap_or((line, ""));
@@ -232,6 +240,28 @@ impl Scenario {
             return Err("missing end".into());
         }
         Ok(s)
+    }
+
+    /// Extracts the informational flight-recorder trace appended after
+    /// `end` (one stable line per `trace` directive, oldest first).
+    /// Returns an empty vec for reproducers written before traces
+    /// existed — the replay itself never depends on these lines.
+    pub fn embedded_trace(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut after_end = false;
+        for line in text.lines().map(str::trim) {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if after_end {
+                if let Some(rest) = line.strip_prefix("trace ") {
+                    out.push(rest.to_string());
+                }
+            } else if line == "end" {
+                after_end = true;
+            }
+        }
+        out
     }
 
     /// Emits a ready-to-paste Rust regression test embedding the replay.
@@ -367,6 +397,24 @@ mod tests {
         ] {
             assert!(Scenario::parse_replay(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn trace_lines_after_end_are_ignored_and_extractable() {
+        let text = "xsi-conformance-replay v1\nseed 7\nk 1\nend\n\
+                    # flight-recorder trace\n\
+                    trace 0 op-received op=insert-edge\n\
+                    trace 1 index-dispatch family=1-index op=insert-edge splits=1 merges=0 no_op=false\n";
+        let s = Scenario::parse_replay(text).unwrap();
+        assert_eq!(s.seed, 7);
+        let trace = Scenario::embedded_trace(text);
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].starts_with("0 op-received"));
+        // Non-trace content after end is still rejected.
+        let bad = "xsi-conformance-replay v1\nend\ntraceish 0\n";
+        assert!(Scenario::parse_replay(bad).is_err());
+        // Traceless reproducers extract an empty trace.
+        assert!(Scenario::embedded_trace("xsi-conformance-replay v1\nend\n").is_empty());
     }
 
     #[test]

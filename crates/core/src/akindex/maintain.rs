@@ -63,6 +63,12 @@ impl AkCompoundQueue {
         self.by_level[level].push_back(slot);
     }
 
+    /// Current work-queue size: blocks enqueued in live compounds (peak
+    /// recorded into [`UpdateStats::queue_peak`]).
+    fn work_size(&self) -> usize {
+        self.member.len()
+    }
+
     fn pop_lowest(&mut self) -> Option<(usize, Vec<ABlockId>)> {
         for level in 0..self.by_level.len() {
             while let Some(slot) = self.by_level[level].pop_front() {
@@ -222,10 +228,15 @@ impl AkIndex {
             return stats;
         }
         stats.no_op = false;
+        // Refinement-chain accounting for the observability layer: the
+        // update touches ranks j0 ..= k of the A(0)..A(k) chain.
+        stats.levels_touched = self.k() - j0 + 1;
+        let split_t = std::time::Instant::now();
         let mut cq = AkCompoundQueue::new(self.k());
 
         // Initial splits: single v out of its inode at levels j0..k.
         self.split_levels_by(g, &[v], j0 - 1, &mut cq, &mut stats);
+        stats.queue_peak = stats.queue_peak.max(cq.work_size());
 
         // Propagation: lowest-level compound first.
         while let Some((level, mut compound)) = cq.pop_lowest() {
@@ -243,10 +254,14 @@ impl AkIndex {
             self.split_levels_by(g, &splitter, level, &mut cq, &mut stats);
             let splitter = self.collect_succ(g, &rest);
             self.split_levels_by(g, &splitter, level, &mut cq, &mut stats);
+            stats.queue_peak = stats.queue_peak.max(cq.work_size());
         }
         stats.intermediate_blocks = self.block_count();
+        stats.split_nanos = split_t.elapsed().as_nanos() as u64;
 
+        let merge_t = std::time::Instant::now();
         self.merge_phase(v, j0, &mut stats);
+        stats.merge_nanos = merge_t.elapsed().as_nanos() as u64;
         stats.final_blocks = self.block_count();
         stats
     }

@@ -204,6 +204,7 @@ impl SimpleAkIndex {
             intermediate_blocks: after,
             final_blocks: after,
             no_op: after == before,
+            ..UpdateStats::default()
         }
     }
 

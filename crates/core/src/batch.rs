@@ -23,6 +23,8 @@
 
 use crate::akindex::AkIndex;
 use crate::index::StructuralIndex;
+use crate::obs::event::{BatchSegment, EventPayload, IndexFamily, OpKind};
+use crate::obs::ObsHub;
 use crate::oneindex::OneIndex;
 use crate::stats::UpdateStats;
 use std::collections::HashSet;
@@ -168,80 +170,211 @@ pub fn apply_batch_traced(
     g: &mut Graph,
     batch: &[UpdateOp],
 ) -> Result<(BatchResult, Vec<UpdateStats>), BatchError> {
-    validate(g, batch)?;
-    let mut result = BatchResult::default();
-    let mut per_index = vec![UpdateStats::default(); indexes.len()];
+    let mut obs = ObsHub::disabled();
+    apply_batch_traced_obs(indexes, &[], g, batch, &mut obs)
+}
 
-    let observe = |g: &Graph,
-                   u: NodeId,
-                   v: NodeId,
-                   inserted: bool,
-                   indexes: &mut [&mut dyn StructuralIndex],
-                   result: &mut BatchResult,
-                   per_index: &mut [UpdateStats]| {
-        for (idx, acc) in indexes.iter_mut().zip(per_index.iter_mut()) {
-            let s = if inserted {
-                idx.on_edge_inserted(g, u, v)
-            } else {
-                idx.on_edge_deleted(g, u, v)
-            };
-            acc.absorb(&s);
-            result.stats.absorb(&s);
+/// Per-edge-mutation fan-out: every index observes the (already applied)
+/// mutation; when the hub is active each observation is timed and
+/// emitted as an `index-dispatch` event (plus the split/merge phase
+/// breakdown, see [`ObsHub::observe_index_dispatch`]).
+#[allow(clippy::too_many_arguments)]
+fn observe_edge_fanout(
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    inserted: bool,
+    indexes: &mut [&mut dyn StructuralIndex],
+    families: &[IndexFamily],
+    result: &mut BatchResult,
+    per_index: &mut [UpdateStats],
+    obs: &mut ObsHub,
+) {
+    let op = if inserted {
+        OpKind::InsertEdge
+    } else {
+        OpKind::DeleteEdge
+    };
+    let active = obs.is_active();
+    if active {
+        obs.emit(EventPayload::OpReceived { op });
+    }
+    for (i, (idx, acc)) in indexes.iter_mut().zip(per_index.iter_mut()).enumerate() {
+        let t = if active {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let s = if inserted {
+            idx.on_edge_inserted(g, u, v)
+        } else {
+            idx.on_edge_deleted(g, u, v)
+        };
+        if let Some(t) = t {
+            let family = families.get(i).copied().unwrap_or(IndexFamily::NONE);
+            obs.observe_index_dispatch(family, op, &s, t.elapsed().as_nanos() as u64);
         }
-        result.ops_applied += 1;
+        acc.absorb(&s);
+        result.stats.absorb(&s);
+    }
+    result.ops_applied += 1;
+}
+
+/// [`apply_batch_traced`] with observability: the same phase-ordered
+/// core, additionally emitting `op-received` / `index-dispatch` /
+/// `batch-segment` events (and per-phase metrics) into `obs`. This is
+/// the instrumented path the [`crate::UpdateEngine`] calls; `families`
+/// gives each index's [`IndexFamily`] handle in `indexes` order (may be
+/// empty when tracing is off).
+pub fn apply_batch_traced_obs(
+    indexes: &mut [&mut dyn StructuralIndex],
+    families: &[IndexFamily],
+    g: &mut Graph,
+    batch: &[UpdateOp],
+    obs: &mut ObsHub,
+) -> Result<(BatchResult, Vec<UpdateStats>), BatchError> {
+    validate(g, batch)?;
+    debug_assert!(families.is_empty() || families.len() == indexes.len());
+    // Accumulators fold from the absorb identity (`no_op: true`), so a
+    // batch of pure no-ops reports `no_op = true` — the satellite-1 fix.
+    let mut result = BatchResult {
+        stats: UpdateStats::identity(),
+        ..BatchResult::default()
+    };
+    let mut per_index = vec![UpdateStats::identity(); indexes.len()];
+    let active = obs.is_active();
+    let segment = |obs: &mut ObsHub, seg: BatchSegment, ops: usize| {
+        if ops > 0 {
+            obs.emit(EventPayload::BatchSegment {
+                segment: seg,
+                ops: ops.min(u32::MAX as usize) as u32,
+            });
+        }
     };
 
     // Phase 1: node additions.
+    let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::AddNode { label } = op {
+            if active {
+                obs.emit(EventPayload::OpReceived {
+                    op: OpKind::AddNode,
+                });
+            }
             let n = g.add_node(label, None);
             for idx in indexes.iter_mut() {
                 idx.on_node_added(g, n);
             }
             result.created.push(n);
             result.ops_applied += 1;
+            seg_ops += 1;
         }
+    }
+    if active {
+        segment(obs, BatchSegment::AddNodes, seg_ops);
     }
     let resolve = |r: &NodeRef, created: &[NodeId]| match r {
         NodeRef::Existing(n) => *n,
         NodeRef::New(i) => created[*i],
     };
     // Phase 2: edge insertions.
+    let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::InsertEdge { from, to, kind } = op {
             let (u, v) = (resolve(from, &result.created), resolve(to, &result.created));
             g.insert_edge(u, v, *kind)?;
-            observe(g, u, v, true, indexes, &mut result, &mut per_index);
+            observe_edge_fanout(
+                g,
+                u,
+                v,
+                true,
+                indexes,
+                families,
+                &mut result,
+                &mut per_index,
+                obs,
+            );
+            seg_ops += 1;
         }
     }
+    if active {
+        segment(obs, BatchSegment::InsertEdges, seg_ops);
+    }
     // Phase 3: edge deletions.
+    let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::DeleteEdge { from, to } = op {
             g.delete_edge(*from, *to)?;
-            observe(g, *from, *to, false, indexes, &mut result, &mut per_index);
+            observe_edge_fanout(
+                g,
+                *from,
+                *to,
+                false,
+                indexes,
+                families,
+                &mut result,
+                &mut per_index,
+                obs,
+            );
+            seg_ops += 1;
         }
+    }
+    if active {
+        segment(obs, BatchSegment::DeleteEdges, seg_ops);
     }
     // Phase 4: node removals (after explicit edge deletions, so edges
     // already deleted in phase 3 are not double-processed; any edges the
     // node still has are deleted here through the same fan-out).
+    let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::RemoveNode { node } = op {
+            if active {
+                obs.emit(EventPayload::OpReceived {
+                    op: OpKind::RemoveNode,
+                });
+            }
             let parents: Vec<NodeId> = g.pred(*node).collect();
             for p in parents {
                 g.delete_edge(p, *node)?;
-                observe(g, p, *node, false, indexes, &mut result, &mut per_index);
+                observe_edge_fanout(
+                    g,
+                    p,
+                    *node,
+                    false,
+                    indexes,
+                    families,
+                    &mut result,
+                    &mut per_index,
+                    obs,
+                );
+                seg_ops += 1;
             }
             let children: Vec<NodeId> = g.succ(*node).collect();
             for c in children {
                 g.delete_edge(*node, c)?;
-                observe(g, *node, c, false, indexes, &mut result, &mut per_index);
+                observe_edge_fanout(
+                    g,
+                    *node,
+                    c,
+                    false,
+                    indexes,
+                    families,
+                    &mut result,
+                    &mut per_index,
+                    obs,
+                );
+                seg_ops += 1;
             }
             for idx in indexes.iter_mut() {
                 idx.on_node_removing(g, *node);
             }
             g.remove_node(*node)?;
             result.ops_applied += 1;
+            seg_ops += 1;
         }
+    }
+    if active {
+        segment(obs, BatchSegment::RemoveNodes, seg_ops);
     }
     Ok((result, per_index))
 }

@@ -37,6 +37,8 @@
 
 use crate::batch::{self, BatchError, BatchResult, UpdateOp};
 use crate::index::StructuralIndex;
+use crate::obs::event::{EventPayload, IndexFamily, OpKind};
+use crate::obs::{clamp32, ObsHub};
 use crate::rebuild::RebuildPolicy;
 use crate::stats::UpdateStats;
 use std::time::{Duration, Instant};
@@ -75,6 +77,16 @@ impl EngineStats {
         self.merges += s.merges;
         self.touched_blocks += s.splits + s.merges + usize::from(!s.no_op);
     }
+
+    /// The single instrumentation choke point for per-operation time
+    /// bookkeeping (previously copy-pasted across `add_node`,
+    /// `remove_node`, `apply_batch`, and the edge fan-out): books
+    /// `elapsed` wall-clock time inside index-maintenance hooks and
+    /// `ops` applied graph mutations.
+    fn observe_op(&mut self, elapsed: Duration, ops: usize) {
+        self.update_time += elapsed;
+        self.ops += ops;
+    }
 }
 
 struct Entry {
@@ -82,6 +94,8 @@ struct Entry {
     /// Cumulative stats since registration (absorbed per op).
     stats: UpdateStats,
     policy: Option<RebuildPolicy>,
+    /// The index's [`IndexFamily`] handle in the engine's [`ObsHub`].
+    family: IndexFamily,
 }
 
 /// Owns a [`Graph`] and fans every mutation out to its registered
@@ -90,6 +104,9 @@ pub struct UpdateEngine {
     g: Graph,
     entries: Vec<Entry>,
     stats: EngineStats,
+    /// The observability hub: flight recorder / JSONL tracing + metrics
+    /// (disabled by default — see [`crate::obs`]).
+    obs: ObsHub,
 }
 
 impl UpdateEngine {
@@ -100,7 +117,20 @@ impl UpdateEngine {
             g,
             entries: Vec::new(),
             stats: EngineStats::default(),
+            obs: ObsHub::disabled(),
         }
+    }
+
+    /// Read access to the observability hub.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Mutable access to the observability hub — install a recorder
+    /// ([`ObsHub::set_recorder`]) or enable metrics
+    /// ([`ObsHub::enable_metrics`]) before applying updates.
+    pub fn obs_mut(&mut self) -> &mut ObsHub {
+        &mut self.obs
     }
 
     /// Registers an index (already built over this engine's graph).
@@ -126,10 +156,14 @@ impl UpdateEngine {
             index.check(&self.g).is_ok(),
             "registered index inconsistent with the engine's graph"
         );
+        let family = self.obs.register_family(&index.describe());
         self.entries.push(Entry {
             index,
-            stats: UpdateStats::default(),
+            // Cumulative per-index stats fold from the absorb identity so
+            // `no_op` means "every op so far was a no-op" (satellite 1).
+            stats: UpdateStats::identity(),
             policy,
+            family,
         });
         IndexHandle(self.entries.len() - 1)
     }
@@ -173,12 +207,14 @@ impl UpdateEngine {
     /// Adds a node and registers it with every index.
     pub fn add_node(&mut self, label: &str, value: Option<String>) -> NodeId {
         let n = self.g.add_node(label, value);
+        self.obs.emit(EventPayload::OpReceived {
+            op: OpKind::AddNode,
+        });
         let t = Instant::now();
         for e in &mut self.entries {
             e.index.on_node_added(&self.g, n);
         }
-        self.stats.update_time += t.elapsed();
-        self.stats.ops += 1;
+        self.stats.observe_op(t.elapsed(), 1);
         self.paranoid_check("add_node");
         n
     }
@@ -232,13 +268,19 @@ impl UpdateEngine {
             let (s, _) = self.delete_edge(n, c)?;
             total.absorb(&s);
         }
+        // The incident edge deletions above emitted their own op events
+        // (matching `EngineStats::ops` accounting); this one is for the
+        // removal itself.
+        self.obs.emit(EventPayload::OpReceived {
+            op: OpKind::RemoveNode,
+        });
         let t = Instant::now();
         for e in &mut self.entries {
             e.index.on_node_removing(&self.g, n);
         }
-        self.stats.update_time += t.elapsed();
+        let elapsed = t.elapsed();
         self.g.remove_node(n)?;
-        self.stats.ops += 1;
+        self.stats.observe_op(elapsed, 1);
         self.paranoid_check("remove_node");
         Ok(total)
     }
@@ -258,14 +300,14 @@ impl UpdateEngine {
         // trait objects; reassemble the per-index stats afterwards.
         let t = Instant::now();
         let (result, per_index) = {
+            let families: Vec<IndexFamily> = self.entries.iter().map(|e| e.family).collect();
             let mut views: Vec<&mut dyn StructuralIndex> = Vec::with_capacity(self.entries.len());
             for e in &mut self.entries {
                 views.push(e.index.as_mut());
             }
-            batch::apply_batch_traced(&mut views, &mut self.g, ops)?
+            batch::apply_batch_traced_obs(&mut views, &families, &mut self.g, ops, &mut self.obs)?
         };
-        self.stats.update_time += t.elapsed();
-        self.stats.ops += result.ops_applied;
+        self.stats.observe_op(t.elapsed(), result.ops_applied);
         for (e, s) in self.entries.iter_mut().zip(&per_index) {
             e.stats.absorb(s);
             self.stats.absorb_op(s);
@@ -287,26 +329,39 @@ impl UpdateEngine {
 
     /// Fan-out for an edge observation already applied to the graph.
     fn observe_edge(&mut self, u: NodeId, v: NodeId, inserted: bool) -> UpdateStats {
+        let op = if inserted {
+            OpKind::InsertEdge
+        } else {
+            OpKind::DeleteEdge
+        };
+        let active = self.obs.is_active();
+        if active {
+            self.obs.emit(EventPayload::OpReceived { op });
+        }
         let t = Instant::now();
-        let mut total = UpdateStats::default();
-        let mut first = true;
+        // Fold from the absorb identity (satellite 1): the aggregate's
+        // `no_op` is true iff every index took its no-op fast path.
+        let mut total = UpdateStats::identity();
         for e in &mut self.entries {
+            let t_idx = if active { Some(Instant::now()) } else { None };
             let s = if inserted {
                 e.index.on_edge_inserted(&self.g, u, v)
             } else {
                 e.index.on_edge_deleted(&self.g, u, v)
             };
+            if let Some(t_idx) = t_idx {
+                self.obs.observe_index_dispatch(
+                    e.family,
+                    op,
+                    &s,
+                    t_idx.elapsed().as_nanos() as u64,
+                );
+            }
             e.stats.absorb(&s);
             self.stats.absorb_op(&s);
-            if first {
-                total = s;
-                first = false;
-            } else {
-                total.absorb(&s);
-            }
+            total.absorb(&s);
         }
-        self.stats.update_time += t.elapsed();
-        self.stats.ops += 1;
+        self.stats.observe_op(t.elapsed(), 1);
         self.run_policies();
         self.paranoid_check("edge op");
         total
@@ -335,11 +390,20 @@ impl UpdateEngine {
         for e in &mut self.entries {
             if let Some(policy) = &mut e.policy {
                 if policy.should_rebuild(e.index.block_count()) {
+                    let before = e.index.block_count();
                     let t = Instant::now();
                     e.index.rebuild(&self.g);
-                    self.stats.rebuild_time += t.elapsed();
+                    let elapsed = t.elapsed();
+                    self.stats.rebuild_time += elapsed;
                     self.stats.rebuilds += 1;
-                    policy.on_rebuilt(e.index.block_count());
+                    let after = e.index.block_count();
+                    policy.on_rebuilt(after);
+                    self.obs.emit(EventPayload::RebuildTriggered {
+                        family: e.family,
+                        blocks_before: clamp32(before),
+                        blocks_after: clamp32(after),
+                        nanos: elapsed.as_nanos() as u64,
+                    });
                 }
             }
         }

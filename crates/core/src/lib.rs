@@ -68,6 +68,7 @@ pub mod batch;
 pub mod check;
 pub mod engine;
 pub mod index;
+pub mod obs;
 pub mod oneindex;
 pub mod partition;
 pub mod rebuild;
@@ -83,6 +84,7 @@ pub use batch::{
 pub use check::{is_minimal_1index, is_valid_1index, is_valid_ak_chain};
 pub use engine::{EngineStats, IndexHandle, UpdateEngine};
 pub use index::{IndexQueryView, PropagateOneIndex, StructuralIndex};
+pub use obs::{FlightRecorder, JsonlWriter, MetricsRegistry, NullRecorder, ObsHub, Recorder};
 pub use oneindex::OneIndex;
 pub use partition::{BlockId, Partition};
 pub use stats::UpdateStats;

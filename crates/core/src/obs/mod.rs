@@ -1,0 +1,423 @@
+//! `core::obs` — the dependency-free observability layer for the update
+//! pipeline: a flight-recorder event stream plus a metrics registry,
+//! fed from the same instrumentation points (see DESIGN.md §8).
+//!
+//! The paper's empirical argument (§5.1, Figs. 5/7/8) is about
+//! *counting what an update did* — splits, merges, the intermediate
+//! blow-up |Φ₁|, affected blocks. This module makes those counts (and
+//! per-phase wall-clock time) observable without adding any registry
+//! dependency: the JSON writer, the Prometheus exporter, and the JSONL
+//! trace format are all hand-rolled ([`json`]), keeping tier-1 fully
+//! offline per the PR-1 policy.
+//!
+//! Structure:
+//!
+//! * [`event`] — the typed event model ([`Event`], [`EventPayload`],
+//!   static [`CallsiteId`]s, compact [`IndexFamily`] handles);
+//! * [`recorder`] — pluggable sinks: [`NullRecorder`],
+//!   [`FlightRecorder`] (ring buffer, overwrite-oldest),
+//!   [`JsonlWriter`];
+//! * [`metrics`] — [`MetricsRegistry`]: counters / gauges / power-of-two
+//!   bucket histograms keyed by `(name, family, op, phase)`;
+//! * [`ObsHub`] (here) — what the [`crate::engine::UpdateEngine`] owns:
+//!   one recorder + one optional registry + the family table + the
+//!   sequence counter and monotonic epoch.
+//!
+//! The hub is **disabled by default** ([`ObsHub::disabled`]): no
+//! recorder, no metrics, and [`ObsHub::is_active`] is `false`, so
+//! instrumented code skips payload construction and clock reads
+//! entirely. `benches/obs_overhead.rs` in `xsi-bench` verifies the
+//! disabled path is within noise of the pre-instrumentation engine.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{callsite, BatchSegment, CallsiteId, Event, EventPayload, IndexFamily, OpKind};
+pub use metrics::{Histogram, MetricKey, MetricsRegistry};
+pub use recorder::{FlightRecorder, JsonlWriter, NullRecorder, Recorder};
+
+use crate::stats::UpdateStats;
+use std::time::Instant;
+
+/// Saturating `usize` → `u32` for event counters (an individual op
+/// never realistically exceeds `u32`, but never silently wrap).
+#[inline]
+pub(crate) fn clamp32(v: usize) -> u32 {
+    v.min(u32::MAX as usize) as u32
+}
+
+/// The observability hub an [`crate::engine::UpdateEngine`] owns: one
+/// pluggable [`Recorder`], an optional [`MetricsRegistry`], the index
+/// family table, and the event sequence counter / time epoch.
+///
+/// Single-writer like the engine itself — no locks, no channels; the
+/// "lock-free-ish" flight recorder is a plain ring buffer reached only
+/// through the engine's `&mut self` methods.
+pub struct ObsHub {
+    /// `None` means tracing disabled (cheaper than a boxed
+    /// [`NullRecorder`]: the hub can skip event construction).
+    recorder: Option<Box<dyn Recorder>>,
+    /// Cached at [`ObsHub::set_recorder`] time: the installed recorder
+    /// is a [`NullRecorder`] (`describe() == "null"`), so event
+    /// construction can be skipped exactly as if no recorder were
+    /// installed — keeping the documented ~zero-cost promise without a
+    /// virtual call per candidate event.
+    recorder_is_null: bool,
+    metrics: Option<MetricsRegistry>,
+    families: Vec<String>,
+    seq: u64,
+    epoch: Instant,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHub")
+            .field(
+                "recorder",
+                &self
+                    .recorder
+                    .as_ref()
+                    .map(|r| r.describe())
+                    .unwrap_or("off"),
+            )
+            .field("metrics", &self.metrics.is_some())
+            .field("families", &self.families)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl ObsHub {
+    /// A fully inactive hub: no recorder, no metrics. Instrumented code
+    /// checks [`ObsHub::is_active`] and skips everything.
+    pub fn disabled() -> Self {
+        ObsHub {
+            recorder: None,
+            recorder_is_null: false,
+            metrics: None,
+            families: Vec::new(),
+            seq: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether any sink wants events. Instrumentation points gate their
+    /// payload construction *and their clock reads* on this, so the
+    /// disabled hub costs one branch per callsite. An installed
+    /// [`NullRecorder`] counts as inactive (it would discard every
+    /// event anyway), keeping the instrumented fast path within noise
+    /// of the uninstrumented engine.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        (self.recorder.is_some() && !self.recorder_is_null) || self.metrics.is_some()
+    }
+
+    /// Installs a recorder (replacing any previous one, which is
+    /// returned after a final flush).
+    pub fn set_recorder(&mut self, r: Box<dyn Recorder>) -> Option<Box<dyn Recorder>> {
+        self.recorder_is_null = r.describe() == "null";
+        let mut old = self.recorder.replace(r);
+        if let Some(prev) = old.as_mut() {
+            prev.flush();
+        }
+        old
+    }
+
+    /// Removes the recorder (after a final flush), returning it.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder_is_null = false;
+        let mut old = self.recorder.take();
+        if let Some(prev) = old.as_mut() {
+            prev.flush();
+        }
+        old
+    }
+
+    /// Read access to the installed recorder.
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Turns the metrics registry on (idempotent).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(MetricsRegistry::new());
+        }
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Registers an index family name, returning its compact handle.
+    /// Re-registering an existing name returns the existing handle.
+    pub fn register_family(&mut self, name: &str) -> IndexFamily {
+        if let Some(i) = self.families.iter().position(|f| f == name) {
+            return IndexFamily(i as u16);
+        }
+        assert!(
+            self.families.len() < u16::MAX as usize,
+            "too many index families"
+        );
+        self.families.push(name.to_string());
+        IndexFamily((self.families.len() - 1) as u16)
+    }
+
+    /// The registered family names, handle order.
+    pub fn families(&self) -> &[String] {
+        &self.families
+    }
+
+    /// Resolves a family handle to its name (empty for
+    /// [`IndexFamily::NONE`]).
+    pub fn family_name(&self, f: IndexFamily) -> String {
+        if f == IndexFamily::NONE {
+            String::new()
+        } else {
+            self.families
+                .get(f.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("family-{}", f.0))
+        }
+    }
+
+    /// Total events emitted so far (the next event's sequence number).
+    pub fn events_emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Emits one event to the active sinks. No-op when inactive, but
+    /// callers on hot paths should gate on [`ObsHub::is_active`] to
+    /// also skip building the payload.
+    #[inline]
+    pub fn emit(&mut self, payload: EventPayload) {
+        if !self.is_active() {
+            return;
+        }
+        self.emit_slow(payload);
+    }
+
+    fn emit_slow(&mut self, payload: EventPayload) {
+        let ev = Event {
+            seq: self.seq,
+            ts_nanos: self.epoch.elapsed().as_nanos() as u64,
+            callsite: payload.callsite(),
+            payload,
+        };
+        self.seq += 1;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(&ev);
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.observe_event(&ev);
+        }
+    }
+
+    /// The standard per-index fan-out instrumentation: one
+    /// `index-dispatch` summary event, plus (for non-no-ops) the
+    /// `split-phase` / `merge-phase` breakdown and, when the index
+    /// reported refinement-chain work, a `rank-maintenance` event —
+    /// all derived from the phase counters the maintenance algorithms
+    /// record into [`UpdateStats`].
+    pub fn observe_index_dispatch(
+        &mut self,
+        family: IndexFamily,
+        op: OpKind,
+        s: &UpdateStats,
+        nanos: u64,
+    ) {
+        if !self.is_active() {
+            return;
+        }
+        self.emit(EventPayload::IndexDispatch {
+            family,
+            op,
+            splits: clamp32(s.splits),
+            merges: clamp32(s.merges),
+            no_op: s.no_op,
+            nanos,
+        });
+        if s.no_op {
+            return;
+        }
+        self.emit(EventPayload::SplitPhase {
+            family,
+            splits: clamp32(s.splits),
+            intermediate_blocks: clamp32(s.intermediate_blocks),
+            queue_peak: clamp32(s.queue_peak),
+            nanos: s.split_nanos,
+        });
+        self.emit(EventPayload::MergePhase {
+            family,
+            merges: clamp32(s.merges),
+            final_blocks: clamp32(s.final_blocks),
+            nanos: s.merge_nanos,
+        });
+        if s.levels_touched > 0 {
+            self.emit(EventPayload::RankMaintenance {
+                family,
+                levels_touched: clamp32(s.levels_touched),
+            });
+        }
+    }
+
+    /// Flushes the recorder (e.g. before reading an output file).
+    pub fn flush(&mut self) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.flush();
+        }
+    }
+
+    /// Snapshot of the recorder's retained events (empty when tracing
+    /// is off or the recorder does not retain).
+    pub fn flight_events(&self) -> Vec<Event> {
+        self.recorder
+            .as_ref()
+            .map(|r| r.events())
+            .unwrap_or_default()
+    }
+
+    /// The retained events rendered through [`Event::stable_line`]:
+    /// the deterministic projection (no timestamps/durations) that
+    /// conformance reproducers embed and replay compares.
+    pub fn stable_trace(&self) -> Vec<String> {
+        self.flight_events()
+            .iter()
+            .map(|e| e.stable_line(|f| self.family_name(f)))
+            .collect()
+    }
+
+    /// Metrics as JSON (`{}`-shaped empty document when disabled).
+    pub fn metrics_json(&self) -> String {
+        match &self.metrics {
+            Some(m) => m.to_json(&self.families),
+            None => MetricsRegistry::new().to_json(&self.families),
+        }
+    }
+
+    /// The deterministic metrics projection (timing histograms
+    /// excluded) — identical across identically seeded runs.
+    pub fn metrics_deterministic_json(&self) -> String {
+        match &self.metrics {
+            Some(m) => m.to_deterministic_json(&self.families),
+            None => MetricsRegistry::new().to_deterministic_json(&self.families),
+        }
+    }
+
+    /// Metrics in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        match &self.metrics {
+            Some(m) => m.to_prometheus(&self.families),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let mut hub = ObsHub::disabled();
+        assert!(!hub.is_active());
+        hub.emit(EventPayload::OpReceived {
+            op: OpKind::InsertEdge,
+        });
+        assert_eq!(hub.events_emitted(), 0);
+        assert!(hub.flight_events().is_empty());
+        assert!(hub.metrics().is_none());
+    }
+
+    #[test]
+    fn family_registration_dedupes_and_resolves() {
+        let mut hub = ObsHub::disabled();
+        let a = hub.register_family("1-index");
+        let b = hub.register_family("A(2)-index");
+        let a2 = hub.register_family("1-index");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(hub.family_name(a), "1-index");
+        assert_eq!(hub.family_name(IndexFamily::NONE), "");
+    }
+
+    #[test]
+    fn emit_feeds_both_sinks_with_monotonic_seq() {
+        let mut hub = ObsHub::disabled();
+        hub.set_recorder(Box::new(FlightRecorder::new(16)));
+        hub.enable_metrics();
+        let fam = hub.register_family("1-index");
+        hub.emit(EventPayload::OpReceived {
+            op: OpKind::DeleteEdge,
+        });
+        let stats = UpdateStats {
+            splits: 2,
+            merges: 1,
+            intermediate_blocks: 12,
+            final_blocks: 11,
+            no_op: false,
+            split_nanos: 40,
+            merge_nanos: 50,
+            queue_peak: 3,
+            levels_touched: 2,
+        };
+        hub.observe_index_dispatch(fam, OpKind::DeleteEdge, &stats, 123);
+
+        // op-received + dispatch + split + merge + rank = 5 events.
+        let evs = hub.flight_events();
+        assert_eq!(evs.len(), 5);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(evs[2].callsite, callsite::SPLIT_PHASE);
+        assert_eq!(evs[4].callsite, callsite::RANK_MAINTENANCE);
+
+        // Metrics saw the same events.
+        let m = hub.metrics().unwrap();
+        assert_eq!(
+            m.counter_value(&MetricKey::named("ops_total").op("delete-edge")),
+            1
+        );
+        assert_eq!(
+            m.counter_value(
+                &MetricKey::named("splits_total")
+                    .family(fam)
+                    .op("delete-edge")
+            ),
+            2
+        );
+        let qp = m
+            .histogram(&MetricKey::named("queue_peak").family(fam).phase("split"))
+            .unwrap();
+        assert_eq!(qp.max, 3);
+
+        // The stable trace renders family names and no timestamps.
+        let trace = hub.stable_trace();
+        assert_eq!(trace.len(), 5);
+        assert!(trace[1].contains("family=1-index"));
+        assert!(!trace[1].contains("nanos"));
+    }
+
+    #[test]
+    fn no_op_dispatch_emits_only_the_summary() {
+        let mut hub = ObsHub::disabled();
+        hub.set_recorder(Box::new(FlightRecorder::new(8)));
+        let fam = hub.register_family("1-index");
+        let stats = UpdateStats {
+            no_op: true,
+            ..UpdateStats::identity()
+        };
+        hub.observe_index_dispatch(fam, OpKind::InsertEdge, &stats, 7);
+        let evs = hub.flight_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].callsite, callsite::INDEX_DISPATCH);
+    }
+}

@@ -1,0 +1,288 @@
+//! Event sinks for the observability layer.
+//!
+//! A [`Recorder`] is where instrumented code hands off [`Event`]s. Three
+//! implementations live here:
+//!
+//! * [`NullRecorder`] — discards everything; the hub additionally skips
+//!   event construction entirely when this is installed, so the
+//!   instrumented fast path stays within noise of the uninstrumented
+//!   engine (verified by `benches/obs_overhead.rs` in `xsi-bench`).
+//! * [`FlightRecorder`] — a fixed-capacity single-writer ring buffer
+//!   that overwrites the oldest entries. The conformance lab snapshots
+//!   it into every reproducer so a shrunken repro carries the engine's
+//!   own account of the failing op.
+//! * [`JsonlWriter`] — streams one JSON object per line to any
+//!   `io::Write`, using the hand-rolled serializer in
+//!   [`Event::to_jsonl`].
+
+use std::io;
+
+use super::event::{Event, IndexFamily};
+
+/// An event sink. Single-writer by design: the [`ObsHub`](super::ObsHub)
+/// owns exactly one recorder and all engine mutations flow through one
+/// `&mut` engine, so no interior mutability or locking is needed.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Flushes buffered output (no-op for in-memory recorders).
+    fn flush(&mut self) {}
+
+    /// A chronological snapshot of retained events. Recorders that do
+    /// not retain events return an empty vec.
+    fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// Short human-readable name for diagnostics.
+    fn describe(&self) -> &'static str;
+}
+
+/// Discards every event. The hub special-cases this via
+/// [`ObsHub::is_active`](super::ObsHub::is_active) so callers skip
+/// payload construction and clock reads altogether.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&mut self, _ev: &Event) {}
+
+    fn describe(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Fixed-capacity ring buffer that keeps the most recent events,
+/// overwriting the oldest once full ("flight recorder" semantics).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    /// Next write position (wraps at `cap`).
+    head: usize,
+    /// Total events ever recorded (monotonic, does not wrap).
+    total: u64,
+    cap: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            total: 0,
+            cap,
+        }
+    }
+
+    /// Capacity (maximum retained events).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events recorded over the recorder's lifetime, including
+    /// those already overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Chronological (oldest → newest) snapshot of retained events.
+    pub fn snapshot(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            // Not yet wrapped: buffer is already in order.
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+impl Recorder for FlightRecorder {
+    #[inline]
+    fn record(&mut self, ev: &Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.total += 1;
+    }
+
+    fn events(&self) -> Vec<Event> {
+        self.snapshot()
+    }
+
+    fn describe(&self) -> &'static str {
+        "flight"
+    }
+}
+
+/// Streams events as JSON Lines to an arbitrary writer. Family handles
+/// are resolved to names at write time via the table captured in
+/// [`JsonlWriter::new`] — the hub refreshes it on registration.
+pub struct JsonlWriter<W: io::Write> {
+    out: W,
+    families: Vec<String>,
+    /// First I/O error encountered, if any (subsequent writes are
+    /// skipped; tracing must never panic the engine).
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Wraps `out`; `families` maps [`IndexFamily`] handles to names.
+    pub fn new(out: W, families: Vec<String>) -> Self {
+        JsonlWriter {
+            out,
+            families,
+            error: None,
+        }
+    }
+
+    /// The first write error, if any occurred.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the writer, returning the inner sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn family_name(families: &[String], f: IndexFamily) -> String {
+        if f == IndexFamily::NONE {
+            String::new()
+        } else {
+            families
+                .get(f.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("family-{}", f.0))
+        }
+    }
+}
+
+impl<W: io::Write> Recorder for JsonlWriter<W> {
+    fn record(&mut self, ev: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let families = &self.families;
+        let line = ev.to_jsonl(|f| Self::family_name(families, f));
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn describe(&self) -> &'static str {
+        "jsonl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{callsite, EventPayload, OpKind};
+    use super::super::json::Json;
+    use super::*;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            ts_nanos: seq * 10,
+            callsite: callsite::OP_RECEIVED,
+            payload: EventPayload::OpReceived {
+                op: OpKind::InsertEdge,
+            },
+        }
+    }
+
+    #[test]
+    fn null_recorder_retains_nothing() {
+        let mut r = NullRecorder;
+        r.record(&ev(1));
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_before_wrap_is_in_order() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(&ev(i));
+        }
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.total_recorded(), 5);
+    }
+
+    #[test]
+    fn flight_recorder_wraparound_keeps_newest_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..11 {
+            r.record(&ev(i));
+        }
+        // 11 events through a 4-slot ring: the last 4 survive, oldest
+        // first.
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert_eq!(r.total_recorded(), 11);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn flight_recorder_exact_fill_boundary() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..3 {
+            r.record(&ev(i));
+        }
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // One more overwrites the oldest.
+        r.record(&ev(3));
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flight_recorder_zero_cap_clamps_to_one() {
+        let mut r = FlightRecorder::new(0);
+        r.record(&ev(1));
+        r.record(&ev(2));
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2]);
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_parseable_object_per_line() {
+        let mut w = JsonlWriter::new(Vec::new(), vec!["1-index".into()]);
+        w.record(&ev(0));
+        w.record(&ev(1));
+        w.flush();
+        assert!(w.error().is_none());
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).expect("valid JSON line");
+            assert_eq!(v.get("seq").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(v.get("kind").and_then(Json::as_str), Some("op-received"));
+            assert_eq!(v.get("callsite").and_then(Json::as_u64), Some(1));
+        }
+    }
+}

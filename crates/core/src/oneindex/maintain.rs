@@ -60,6 +60,13 @@ impl CompoundQueue {
         self.queue.is_empty()
     }
 
+    /// Current work-queue size: the number of blocks enqueued in live
+    /// compounds. The maintenance loop records its peak into
+    /// [`UpdateStats::queue_peak`] for the observability layer.
+    pub(crate) fn work_size(&self) -> usize {
+        self.member.len()
+    }
+
     /// Enqueues a compound of (≥2) blocks.
     pub(crate) fn push(&mut self, compound: Vec<BlockId>) {
         debug_assert!(compound.len() >= 2);
@@ -196,10 +203,14 @@ impl OneIndex {
             return stats;
         }
         stats.no_op = false;
+        let t = std::time::Instant::now();
         self.split_phase(g, v, &mut stats);
+        stats.split_nanos = t.elapsed().as_nanos() as u64;
         stats.intermediate_blocks = self.p.block_count();
         if do_merge {
+            let t = std::time::Instant::now();
             self.merge_phase(g, self.p.block_of(v), &mut stats);
+            stats.merge_nanos = t.elapsed().as_nanos() as u64;
         }
         stats.final_blocks = self.p.block_count();
         stats
@@ -230,12 +241,16 @@ impl OneIndex {
         if self.p.has_iedge(bu, bv) {
             // Some sibling of v still has a parent in I[u], so v is no
             // longer bisimilar to it: single v out and propagate.
+            let t = std::time::Instant::now();
             self.split_phase(g, v, &mut stats);
+            stats.split_nanos = t.elapsed().as_nanos() as u64;
         }
         // Either way I[v]'s parent set shrank — a merge may have opened up.
         stats.intermediate_blocks = self.p.block_count();
         if do_merge {
+            let t = std::time::Instant::now();
             self.merge_phase(g, self.p.block_of(v), &mut stats);
+            stats.merge_nanos = t.elapsed().as_nanos() as u64;
         }
         stats.final_blocks = self.p.block_count();
         stats
@@ -253,6 +268,7 @@ impl OneIndex {
         stats.splits += 1;
         let mut cq = CompoundQueue::new();
         cq.push(vec![bv, nb]);
+        stats.queue_peak = stats.queue_peak.max(cq.work_size());
         self.process_compounds(g, &mut cq, stats);
     }
 
@@ -293,6 +309,7 @@ impl OneIndex {
                 stats.splits += 1;
                 cq.on_split(old, new);
             }
+            stats.queue_peak = stats.queue_peak.max(cq.work_size());
         }
     }
 

@@ -3,6 +3,14 @@
 //! |Φ₁| − |Φ₂|") and by the Figure 5 worst-case experiment.
 
 /// Counters describing what one incremental update did to an index.
+///
+/// Besides the paper's split/merge counts, maintenance algorithms record
+/// per-phase wall-clock time (`split_nanos`/`merge_nanos`), the peak
+/// Paige–Tarjan work-queue size (`queue_peak`), and — for A(k) — how
+/// many refinement-chain levels the update touched (`levels_touched`);
+/// the observability layer ([`crate::obs`]) turns these into
+/// `split-phase` / `merge-phase` / `rank-maintenance` events and metric
+/// series.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateStats {
     /// Number of block splits performed (|Φ₁(G₂)| − |Φ₀(G₀)|).
@@ -15,20 +23,54 @@ pub struct UpdateStats {
     /// Index size after the whole update (|Φ₂|).
     pub final_blocks: usize,
     /// Whether the update was a no-op for the index (the early-return cases
-    /// of Figure 3: the iedge already existed / still exists).
+    /// of Figure 3: the iedge already existed / still exists). On an
+    /// aggregate built with [`UpdateStats::absorb`], this means *every*
+    /// absorbed op was a no-op — accumulators must start from
+    /// [`UpdateStats::identity`], not [`Default::default`], for the flag
+    /// to mean anything (`Default` is a non-no-op leaf value).
     pub no_op: bool,
+    /// Wall-clock nanoseconds inside the split phase (0 when the phase
+    /// was skipped or timing is off).
+    pub split_nanos: u64,
+    /// Wall-clock nanoseconds inside the merge phase.
+    pub merge_nanos: u64,
+    /// Peak work-queue size during split propagation (blocks enqueued in
+    /// compound slots). Aggregates keep the maximum.
+    pub queue_peak: usize,
+    /// Refinement-chain levels touched by an A(k) update (k − j₀ + 1; 0
+    /// for non-chain indexes). Aggregates keep the maximum.
+    pub levels_touched: usize,
 }
 
 impl UpdateStats {
+    /// The identity element of [`UpdateStats::absorb`]: all counters
+    /// zero and `no_op: true` (absorbing any `s` into it yields `s`'s
+    /// semantics). Workload accumulators **must** start here — starting
+    /// from `Default::default()` (`no_op: false`) would report a
+    /// workload of pure no-ops as "did something", the bug this
+    /// constructor fixed.
+    pub fn identity() -> Self {
+        UpdateStats {
+            no_op: true,
+            ..UpdateStats::default()
+        }
+    }
+
     /// Accumulates another update's counters into `self` (for workload
-    /// totals). `intermediate_blocks`/`final_blocks` keep the maximum and
-    /// last value respectively.
+    /// totals): splits/merges/phase-times add, `intermediate_blocks` and
+    /// `queue_peak`/`levels_touched` keep the maximum, `final_blocks`
+    /// keeps the last value, and `no_op` stays `true` only while every
+    /// absorbed op was a no-op (fold from [`UpdateStats::identity`]).
     pub fn absorb(&mut self, other: &UpdateStats) {
         self.splits += other.splits;
         self.merges += other.merges;
         self.intermediate_blocks = self.intermediate_blocks.max(other.intermediate_blocks);
         self.final_blocks = other.final_blocks;
         self.no_op &= other.no_op;
+        self.split_nanos += other.split_nanos;
+        self.merge_nanos += other.merge_nanos;
+        self.queue_peak = self.queue_peak.max(other.queue_peak);
+        self.levels_touched = self.levels_touched.max(other.levels_touched);
     }
 }
 
@@ -44,6 +86,10 @@ mod tests {
             intermediate_blocks: 10,
             final_blocks: 8,
             no_op: true,
+            split_nanos: 5,
+            merge_nanos: 6,
+            queue_peak: 2,
+            levels_touched: 1,
         };
         let b = UpdateStats {
             splits: 3,
@@ -51,6 +97,10 @@ mod tests {
             intermediate_blocks: 7,
             final_blocks: 9,
             no_op: false,
+            split_nanos: 10,
+            merge_nanos: 1,
+            queue_peak: 5,
+            levels_touched: 3,
         };
         a.absorb(&b);
         assert_eq!(a.splits, 4);
@@ -58,5 +108,39 @@ mod tests {
         assert_eq!(a.intermediate_blocks, 10);
         assert_eq!(a.final_blocks, 9);
         assert!(!a.no_op);
+        assert_eq!(a.split_nanos, 15);
+        assert_eq!(a.merge_nanos, 7);
+        assert_eq!(a.queue_peak, 5);
+        assert_eq!(a.levels_touched, 3);
+    }
+
+    /// The satellite-1 regression: folding only no-ops from the identity
+    /// must report `no_op = true`; `Default` is *not* the identity.
+    #[test]
+    fn identity_preserves_all_no_op_workloads() {
+        let noop = UpdateStats {
+            final_blocks: 4,
+            ..UpdateStats::identity()
+        };
+        let mut total = UpdateStats::identity();
+        for _ in 0..3 {
+            total.absorb(&noop);
+        }
+        assert!(total.no_op, "a workload of pure no-ops is a no-op");
+        assert_eq!(total.final_blocks, 4);
+
+        // One real op flips the aggregate and it stays flipped.
+        let real = UpdateStats {
+            splits: 1,
+            ..UpdateStats::default()
+        };
+        total.absorb(&real);
+        total.absorb(&noop);
+        assert!(!total.no_op);
+
+        // absorb(identity) is the identity operation on no_op.
+        let mut x = UpdateStats::default();
+        x.absorb(&UpdateStats::identity());
+        assert!(!x.no_op);
     }
 }
