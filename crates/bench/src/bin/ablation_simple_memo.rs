@@ -12,6 +12,8 @@
 //! Usage: `ablation_simple_memo [--scale 0.1] [--pairs 100] [--seed 42]
 //!         [--out ablation_memo.csv]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 use xsi_bench::{Args, Table};
 use xsi_core::SimpleAkIndex;

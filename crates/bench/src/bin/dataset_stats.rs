@@ -4,6 +4,8 @@
 //!
 //! Usage: `dataset_stats [--scale 1.0] [--seed 42]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{Args, Table};
 use xsi_core::OneIndex;
 use xsi_graph::EdgeKind;

@@ -4,6 +4,8 @@
 //! Usage: `export_xml [--dataset xmark|imdb|dblp] [--scale 0.01]
 //!         [--cyclicity 1.0] [--seed 42] [--out dataset.xml]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::Args;
 use xsi_workload::{
     generate_dblp, generate_imdb, generate_xmark, DblpParams, ImdbParams, XmarkParams,

@@ -15,6 +15,8 @@
 //!
 //! Usage: `fig05_worstcase [--depths 10,100,1000,10000] [--out fig05.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{Args, Table};
 use xsi_core::OneIndex;
 use xsi_graph::{EdgeKind, Graph, NodeId};

@@ -8,6 +8,8 @@
 //! Usage: `fig09_imdb_quality [--scale 1.0] [--pairs 5000]
 //!         [--sample-every 100] [--seed 42] [--out fig09.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{run_mixed_updates_1index, Algo1, Args, Table};
 use xsi_workload::{generate_imdb, EdgePool, ImdbParams};
 

@@ -9,6 +9,8 @@
 //! Usage: `fig10_xmark_quality [--scale 1.0] [--pairs 5000]
 //!         [--sample-every 200] [--seed 42] [--out fig10.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{run_mixed_updates_1index, Algo1, Args, Table};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
 

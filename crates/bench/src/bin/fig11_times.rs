@@ -9,6 +9,8 @@
 //! Usage: `fig11_times [--scale 1.0] [--pairs 5000] [--seed 42]
 //!         [--out fig11.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{run_mixed_updates_1index, Algo1, Args, Table};
 use xsi_graph::Graph;
 use xsi_workload::{generate_imdb, generate_xmark, EdgePool, ImdbParams, XmarkParams};

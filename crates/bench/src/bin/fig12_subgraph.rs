@@ -14,6 +14,8 @@
 //! Usage: `fig12_subgraph [--scale 1.0] [--subgraphs 500]
 //!         [--sample-every 25] [--seed 42] [--out fig12.csv]`
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 use xsi_bench::{Args, Table};
 use xsi_core::{check, OneIndex};

@@ -10,6 +10,8 @@
 //! Usage: `fig13_ak_simple_quality [--scale 1.0] [--pairs 1000]
 //!         [--sample-every 50] [--seed 42] [--out fig13.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{run_mixed_updates_ak, AlgoAk, Args, Table};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
 

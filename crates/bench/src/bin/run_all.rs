@@ -8,6 +8,8 @@
 //! Defaults are sized to finish in a few minutes; pass `--scale 1.0
 //! --pairs 5000 --subgraphs 500` for paper-scale runs.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::Command;
 use xsi_bench::Args;

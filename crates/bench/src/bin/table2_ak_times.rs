@@ -10,6 +10,8 @@
 //! Usage: `table2_ak_times [--scale 1.0] [--pairs 1000] [--seed 42]
 //!         [--out table2.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{run_mixed_updates_ak, AlgoAk, Args, Table};
 use xsi_workload::{generate_imdb, generate_xmark, EdgePool, ImdbParams, XmarkParams};
 

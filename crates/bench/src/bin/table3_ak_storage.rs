@@ -8,6 +8,8 @@
 //!
 //! Usage: `table3_ak_storage [--scale 1.0] [--seed 42] [--out table3.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{Args, Table};
 use xsi_core::AkIndex;
 use xsi_workload::{generate_imdb, generate_xmark, ImdbParams, XmarkParams};

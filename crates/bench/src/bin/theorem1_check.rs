@@ -8,6 +8,8 @@
 //! Usage: `theorem1_check [--scale 0.5] [--pairs 2000] [--check-every 100]
 //!         [--seed 42] [--out theorem1.csv]`
 
+#![forbid(unsafe_code)]
+
 use xsi_bench::{Args, Table};
 use xsi_core::OneIndex;
 use xsi_graph::{is_acyclic, EdgeKind};

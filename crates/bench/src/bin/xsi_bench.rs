@@ -20,6 +20,8 @@
 //!     --scale 0.05 --pairs 2000 --metrics-out m.json --trace-out t.jsonl
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 use std::io::BufWriter;
 use std::time::Instant;

@@ -6,6 +6,8 @@
 //! xsi_metrics_check --metrics m.json [--trace t.jsonl] [--prom m.prom]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use xsi_bench::cli::Args;

@@ -6,6 +6,8 @@
 //! chosen maintenance algorithm while sampling the paper's quality metric,
 //! and plain-text table output.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod driver;
 pub mod micro;

@@ -24,6 +24,8 @@
 //! All randomness is SplitMix64 on the given seed; two runs with the
 //! same flags are identical.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 use xsi_conformance::{

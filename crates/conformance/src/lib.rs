@@ -36,6 +36,8 @@
 //! seed + generator config (or its replay file), so every failure is
 //! replayable bit-for-bit with `xsi-fuzz --replay <file>`.
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod gen;
 pub mod harness;

@@ -91,7 +91,7 @@ impl AkCompoundQueue {
             Some(&slot) => {
                 self.slots[slot]
                     .as_mut()
-                    .expect("member points at empty slot")
+                    .expect("invariant: member lists only name occupied extent slots")
                     .1
                     .push(new);
                 self.member.insert(new, slot);
@@ -104,11 +104,14 @@ impl AkCompoundQueue {
     /// swap the id inside its compound, if any.
     fn replace(&mut self, old: ABlockId, new: ABlockId) {
         if let Some(slot) = self.member.remove(&old) {
-            let compound = &mut self.slots[slot].as_mut().expect("live slot").1;
+            let compound = &mut self.slots[slot]
+                .as_mut()
+                .expect("invariant: node_pos points at a live extent slot")
+                .1;
             let pos = compound
                 .iter()
                 .position(|&b| b == old)
-                .expect("member list out of sync");
+                .expect("invariant: extent and member list stay in lockstep");
             compound[pos] = new;
             self.member.insert(new, slot);
         }
@@ -244,7 +247,7 @@ impl AkIndex {
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &b)| self.weight(b))
-                .expect("compound non-empty");
+                .expect("invariant: compound splitters contain at least one block");
             let small = compound.swap_remove(min_pos);
             let rest = compound;
             if rest.len() >= 2 {
@@ -292,6 +295,7 @@ impl AkIndex {
             }
         }
         // Freeze "fully covered" decisions before any move.
+        // xsi-lint: allow(hash-iter, set-to-set filter; membership tests only, order never escapes)
         let full: HashSet<ABlockId> = counts
             .iter()
             .filter(|&(&b, &c)| c as usize == self.weight(b))
@@ -331,9 +335,15 @@ impl AkIndex {
         }
 
         // Post-pass: classify partner pairs, then release dead originals
-        // deepest-first so children are gone before their parents.
+        // deepest-first so children are gone before their parents. Sort
+        // the partner map first: the loop feeds `cq.replace`/`cq.on_split`
+        // and the split counter, so its order must not depend on hash
+        // state (the PR 2 `SimpleAkIndex` bug class).
+        let mut pairs: Vec<(ABlockId, ABlockId)> =
+            partners.iter().map(|(&old, &p)| (old, p)).collect();
+        pairs.sort_unstable();
         let mut dying: Vec<ABlockId> = Vec::new();
-        for (&old, &partner) in &partners {
+        for (old, partner) in pairs {
             if self.weight(old) == 0 {
                 cq.replace(old, partner);
                 dying.push(old);
@@ -371,7 +381,7 @@ impl AkIndex {
             let bv = self.block_of_at(v, j);
             let parent = self
                 .tree_parent(bv)
-                .expect("affected levels are ≥ 1 and have parents");
+                .expect("invariant: affected levels are >= 1 and have parents");
             let sibling = self
                 .tree_children(parent)
                 .find(|&s| s != bv && self.same_cross_parents(s, bv));
@@ -410,13 +420,20 @@ impl AkIndex {
         for c in kids {
             let mut parents: Vec<ABlockId> = self.cross_parents(c).collect();
             parents.sort_unstable();
-            let parent = self.tree_parent(c).expect("level ≥ 1 has a tree parent");
+            let parent = self
+                .tree_parent(c)
+                .expect("invariant: every block above level 0 has a tree parent");
             groups.entry((parent, parents)).or_default().push(c);
         }
-        for (_, group) in groups {
+        // Drain the hash-keyed grouping in sorted key order so merge
+        // order (and therefore surviving block IDs) is deterministic.
+        let mut grouped: Vec<_> = groups.into_iter().collect();
+        grouped.sort_unstable();
+        for (_, mut group) in grouped {
             if group.len() < 2 {
                 continue;
             }
+            group.sort_unstable();
             let mut survivor = group[0];
             for &b in &group[1..] {
                 survivor = self.merge_pair(survivor, b);
@@ -441,6 +458,7 @@ impl AkIndex {
 
     /// Registers a freshly added, edge-free node: it joins (or founds) the
     /// chain of parentless blocks with its label, preserving minimality.
+    // xsi-lint: allow(obs-coverage, O(k) bookkeeping with no split/merge work; the engine-level caller times it)
     pub fn on_node_added(&mut self, g: &Graph, n: NodeId) {
         self.ensure_capacity(g);
         debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);
@@ -474,6 +492,7 @@ impl AkIndex {
 
     /// Unregisters a node about to be removed (must be edge-free; call
     /// before `Graph::remove_node`).
+    // xsi-lint: allow(obs-coverage, O(k) bookkeeping with no split/merge work; the engine-level caller times it)
     pub fn on_node_removing(&mut self, g: &Graph, n: NodeId) {
         debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);
         let chain = self.chain_of(n);

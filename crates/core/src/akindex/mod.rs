@@ -132,7 +132,9 @@ impl AkIndex {
             levels.push(classes);
         }
         for _ in 1..=k {
-            let prev = levels.last().expect("at least level 0 exists");
+            let prev = levels
+                .last()
+                .expect("invariant: construction always creates level 0");
             let mut ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
             let mut classes = vec![u32::MAX; g.capacity()];
             for n in g.nodes() {
@@ -263,8 +265,10 @@ impl AkIndex {
         (p != ABlockId::INVALID).then_some(p)
     }
 
-    /// Refinement-tree children.
+    /// Refinement-tree children, in hash order. Callers that let the
+    /// order escape (exports, traces, block allocation) must sort.
     pub fn tree_children(&self, b: ABlockId) -> impl Iterator<Item = ABlockId> + '_ {
+        // xsi-lint: allow(hash-iter, accessor contract: documented unordered; ordering callers sort)
         self.blocks[b.index()].tree_children.iter().copied()
     }
 
@@ -281,18 +285,21 @@ impl AkIndex {
     /// by query evaluation).
     pub fn isucc(&self, b: ABlockId) -> impl Iterator<Item = ABlockId> + '_ {
         debug_assert_eq!(self.blocks[b.index()].level as usize, self.k);
+        // xsi-lint: allow(hash-iter, accessor contract: documented unordered; ordering callers sort)
         self.blocks[b.index()].succ_intra.keys().copied()
     }
 
     /// Intra-level-k index parents of a level-k block.
     pub fn ipred(&self, b: ABlockId) -> impl Iterator<Item = ABlockId> + '_ {
         debug_assert_eq!(self.blocks[b.index()].level as usize, self.k);
+        // xsi-lint: allow(hash-iter, accessor contract: documented unordered; ordering callers sort)
         self.blocks[b.index()].pred_intra.keys().copied()
     }
 
     /// The A(level−1)-index parents of a block (keys of `pred_cross`) —
     /// the Definition 6 merge test compares these sets.
     pub fn cross_parents(&self, b: ABlockId) -> impl Iterator<Item = ABlockId> + '_ {
+        // xsi-lint: allow(hash-iter, accessor contract: Definition 6 compares these as sets; ordering callers sort)
         self.blocks[b.index()].pred_cross.keys().copied()
     }
 
@@ -345,7 +352,9 @@ impl AkIndex {
             self.blocks[id.index()] = ABlock::new(level, label);
             id
         } else {
-            let id = ABlockId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+            let id = ABlockId(
+                u32::try_from(self.blocks.len()).expect("invariant: block count fits in u32"),
+            );
             self.blocks.push(ABlock::new(level, label));
             id
         }
@@ -426,7 +435,7 @@ impl AkIndex {
         let c = self.blocks[from.index()]
             .succ_cross
             .get_mut(&to)
-            .expect("succ_cross underflow");
+            .expect("invariant: cross-edge decrements never outnumber increments (succ side)");
         *c -= 1;
         if *c == 0 {
             self.blocks[from.index()].succ_cross.remove(&to);
@@ -434,7 +443,7 @@ impl AkIndex {
         let c = self.blocks[to.index()]
             .pred_cross
             .get_mut(&from)
-            .expect("pred_cross underflow");
+            .expect("invariant: cross-edge decrements never outnumber increments (pred side)");
         *c -= 1;
         if *c == 0 {
             self.blocks[to.index()].pred_cross.remove(&from);
@@ -450,7 +459,7 @@ impl AkIndex {
         let c = self.blocks[from.index()]
             .succ_intra
             .get_mut(&to)
-            .expect("succ_intra underflow");
+            .expect("invariant: intra-edge decrements never outnumber increments (succ side)");
         *c -= 1;
         if *c == 0 {
             self.blocks[from.index()].succ_intra.remove(&to);
@@ -458,7 +467,7 @@ impl AkIndex {
         let c = self.blocks[to.index()]
             .pred_intra
             .get_mut(&from)
-            .expect("pred_intra underflow");
+            .expect("invariant: intra-edge decrements never outnumber increments (pred side)");
         *c -= 1;
         if *c == 0 {
             self.blocks[to.index()].pred_intra.remove(&from);
@@ -637,7 +646,17 @@ impl AkIndex {
                     }
                 }
             } else {
-                stack.extend(self.blocks[b.index()].tree_children.iter().copied());
+                // Visit tree children in sorted order: the emitted node
+                // order decides which fresh partner block a later
+                // `split_by_set` allocates first, i.e. it reaches block-id
+                // assignment and must not depend on hash state.
+                let mut kids: Vec<ABlockId> = self.blocks[b.index()]
+                    .tree_children
+                    .iter()
+                    .copied()
+                    .collect();
+                kids.sort_unstable();
+                stack.extend(kids);
             }
         }
         out
@@ -655,12 +674,14 @@ impl AkIndex {
         let mut out: HashSet<(ABlockId, ABlockId)> = HashSet::new();
         if level == self.k {
             for b in self.blocks_at(self.k) {
+                // xsi-lint: allow(hash-iter, feeds a set that is sorted before it is returned)
                 for c in self.blocks[b.index()].succ_intra.keys() {
                     out.insert((b, *c));
                 }
             }
         } else {
             for b in self.blocks_at(level) {
+                // xsi-lint: allow(hash-iter, feeds a set that is sorted before it is returned)
                 for t in self.blocks[b.index()].succ_cross.keys() {
                     out.insert((b, self.blocks[t.index()].tree_parent));
                 }
@@ -681,7 +702,15 @@ impl AkIndex {
             if self.blocks[x.index()].level as usize == self.k {
                 out.extend_from_slice(&self.blocks[x.index()].extent);
             } else {
-                stack.extend(self.blocks[x.index()].tree_children.iter().copied());
+                // Sorted child order keeps the materialized extent
+                // reproducible across runs (it escapes to callers).
+                let mut kids: Vec<ABlockId> = self.blocks[x.index()]
+                    .tree_children
+                    .iter()
+                    .copied()
+                    .collect();
+                kids.sort_unstable();
+                stack.extend(kids);
             }
         }
         out
@@ -744,6 +773,7 @@ impl AkIndex {
                 if sum != blk.weight {
                     return Err(format!("interior weight mismatch at {b:?}"));
                 }
+                // xsi-lint: allow(hash-iter, consistency check: every child is verified, pass/fail is order-free)
                 for &c in &blk.tree_children {
                     if self.blocks[c.index()].tree_parent != b {
                         return Err(format!("tree link {b:?}→{c:?} not mirrored"));
@@ -792,6 +822,7 @@ impl AkIndex {
                 continue;
             }
             let b = ABlockId(i as u32);
+            // xsi-lint: allow(hash-iter, consistency check: every edge is verified, pass/fail is order-free)
             for (&c, &cnt) in &blk.succ_cross {
                 if cross.get(&(b, c)) != Some(&cnt) {
                     return Err(format!("succ_cross ({b:?}→{c:?}) = {cnt} wrong"));
@@ -801,6 +832,7 @@ impl AkIndex {
                 }
                 stored_cross += 1;
             }
+            // xsi-lint: allow(hash-iter, consistency check: every edge is verified, pass/fail is order-free)
             for (&c, &cnt) in &blk.succ_intra {
                 if intra.get(&(b, c)) != Some(&cnt) {
                     return Err(format!("succ_intra ({b:?}→{c:?}) = {cnt} wrong"));

@@ -213,6 +213,7 @@ impl SimpleAkIndex {
     /// extent is empty.
     pub fn check_consistency(&self, g: &Graph) -> Result<(), String> {
         let mut seen = 0usize;
+        // xsi-lint: allow(hash-iter, consistency check: every block is verified, pass/fail is order-free)
         for (&b, extent) in &self.members {
             if extent.is_empty() {
                 return Err(format!("block {b} has an empty extent"));
@@ -263,7 +264,10 @@ impl SimpleAkIndex {
         // Re-partition each touched inode by k-bisim signature.
         let mut memo = SignatureMemo::new(g.capacity(), self.k, self.memoize);
         for block in touched {
-            let extent = self.members.get(&block).expect("touched block exists");
+            let extent = self
+                .members
+                .get(&block)
+                .expect("invariant: touched ids came from the members table");
             if extent.len() == 1 {
                 continue;
             }
@@ -281,6 +285,7 @@ impl SimpleAkIndex {
             // deterministic (size, then smallest-member) order.
             let mut groups: Vec<Vec<NodeId>> = groups.into_values().collect();
             groups.sort_by_key(|grp| (std::cmp::Reverse(grp.len()), grp.iter().min().copied()));
+            // xsi-lint: allow(hash-iter, `groups` was re-bound to the Vec sorted on the line above; drain order is deterministic)
             for grp in groups.drain(1..) {
                 let fresh = self.next_block;
                 self.next_block += 1;
@@ -289,8 +294,12 @@ impl SimpleAkIndex {
                 }
                 self.members.insert(fresh, grp);
             }
-            self.members
-                .insert(block, groups.pop().expect("largest group"));
+            self.members.insert(
+                block,
+                groups
+                    .pop()
+                    .expect("checked: groups.len() > 1 on this branch"),
+            );
         }
     }
 

@@ -59,9 +59,11 @@ pub fn validity_violation(g: &Graph, p: &Partition) -> Option<String> {
             succ.extend(g.succ(u));
         }
         let mut counts: HashMap<u32, usize> = HashMap::new();
+        // xsi-lint: allow(hash-iter, stability oracle: commutative counting, order cannot change the verdict)
         for &v in &succ {
             *counts.entry(assign[v.index()]).or_insert(0) += 1;
         }
+        // xsi-lint: allow(hash-iter, stability oracle: every class is checked, pass/fail is order-free)
         for (&b, &c) in &counts {
             let size = p.size(crate::partition::BlockId(b));
             if c < size {
@@ -163,11 +165,14 @@ pub fn ak_chain_violation(g: &Graph, chain: &[Vec<u32>]) -> Option<String> {
         for n in g.nodes() {
             *cur_sizes.entry(cur[n.index()]).or_insert(0) += 1;
         }
+        // xsi-lint: allow(hash-iter, stability oracle: every class is checked, pass/fail is order-free)
         for (pc, succ) in &succ_of_prev {
             let mut counts: HashMap<u32, usize> = HashMap::new();
+            // xsi-lint: allow(hash-iter, stability oracle: commutative counting, order cannot change the verdict)
             for v in succ {
                 *counts.entry(cur[v.index()]).or_insert(0) += 1;
             }
+            // xsi-lint: allow(hash-iter, stability oracle: every class is checked, pass/fail is order-free)
             for (c, cnt) in counts {
                 if cnt < cur_sizes[&c] {
                     return Some(format!(

@@ -63,6 +63,8 @@
 //! assert_eq!(idx.block_count(), 5); // ROOT, {a}, {c}, {b1}, {b2}
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod akindex;
 pub mod batch;
 pub mod check;

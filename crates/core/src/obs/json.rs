@@ -209,7 +209,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .expect("invariant: the writer pushes a root scope before any field");
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -100,7 +100,7 @@ impl CompoundQueue {
             Some(&slot) => {
                 self.slots[slot]
                     .as_mut()
-                    .expect("member points at empty slot")
+                    .expect("invariant: member lists only name occupied extent slots")
                     .push(new);
                 self.member.insert(new, slot);
             }
@@ -293,7 +293,7 @@ impl OneIndex {
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &b)| self.p.size(b))
-                .expect("compound is non-empty");
+                .expect("invariant: compound splitters contain at least one block");
             let small = compound.swap_remove(min_pos);
             let rest = compound;
             if rest.len() >= 2 {
@@ -342,10 +342,15 @@ impl OneIndex {
                     .or_default()
                     .push(c);
             }
-            for (_, group) in groups {
+            // Drain the hash-keyed grouping in sorted key order so merge
+            // order (and therefore surviving block IDs) is deterministic.
+            let mut grouped: Vec<_> = groups.into_iter().collect();
+            grouped.sort_unstable();
+            for (_, mut group) in grouped {
                 if group.len() < 2 {
                     continue;
                 }
+                group.sort_unstable();
                 let m = self.p.merge_group(&group);
                 stats.merges += group.len() - 1;
                 if queued.insert(m) {

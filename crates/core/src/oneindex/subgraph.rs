@@ -69,8 +69,12 @@ impl OneIndex {
         for &(lu, lv, _) in sub.internal_edges() {
             self.p.on_edge_inserted(map[lu as usize], map[lv as usize]);
         }
-        let worklist: VecDeque<BlockId> = by_label.values().copied().collect();
-        self.refine_worklist(g, worklist);
+        // Sort the fresh blocks before refining: worklist order decides
+        // the order splits allocate new blocks, so it must not depend on
+        // hash state for block IDs to be reproducible.
+        let mut seeds: Vec<BlockId> = by_label.values().copied().collect();
+        seeds.sort_unstable();
+        self.refine_worklist(g, VecDeque::from(seeds));
 
         let mut stats = UpdateStats {
             no_op: false,

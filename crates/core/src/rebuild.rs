@@ -45,7 +45,7 @@ pub fn reconstruct_1index(g: &Graph, current: &OneIndex) -> OneIndex {
     for b in current.blocks() {
         for c in current.isucc(b) {
             ig.insert_edge(inode_of_block[&b], inode_of_block[&c], EdgeKind::Child)
-                .expect("iedges are simple");
+                .expect("invariant: the rebuilt index has simple iedges");
         }
     }
     // Index the index graph. Its ROOT meta-node is isolated and harmless:

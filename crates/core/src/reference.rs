@@ -89,7 +89,9 @@ pub fn k_bisim_chain(g: &Graph, k: usize) -> Vec<ClassAssignment> {
     let mut chain = Vec::with_capacity(k + 1);
     chain.push(label_classes(g));
     for _ in 0..k {
-        let prev = chain.last().expect("chain is never empty");
+        let prev = chain
+            .last()
+            .expect("invariant: every node keeps a non-empty chain");
         let next = renumber(g, refine_once(g, prev));
         chain.push(next);
     }

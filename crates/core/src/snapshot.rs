@@ -90,7 +90,9 @@ impl<'a> Reader<'a> {
             .get(self.pos..end)
             .ok_or(SnapshotError::Truncated)?;
         self.pos = end;
-        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(slice.try_into().expect(
+            "checked: the slice was length-tested just above (4 bytes)",
+        )))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
@@ -100,7 +102,9 @@ impl<'a> Reader<'a> {
             .get(self.pos..end)
             .ok_or(SnapshotError::Truncated)?;
         self.pos = end;
-        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(slice.try_into().expect(
+            "checked: the slice was length-tested just above (8 bytes)",
+        )))
     }
 
     fn finish(self) -> Result<(), SnapshotError> {

@@ -31,6 +31,8 @@
 //! assert!(is_acyclic(&g));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod dot;
 mod graph;

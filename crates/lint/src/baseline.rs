@@ -1,0 +1,354 @@
+//! The ratchet baseline: `lint-baseline.json` freezes today's
+//! panic-freedom debt per (file, rule) so existing call sites are
+//! tolerated while any *new* occurrence fails CI.
+//!
+//! Format (stable, diff-friendly — keys sorted, one entry per line):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": {
+//!     "crates/core/src/partition.rs": { "slice-index": 24 }
+//!   }
+//! }
+//! ```
+//!
+//! The reader is a hand-rolled parser for exactly this JSON subset
+//! (two-level string-keyed objects with non-negative integer leaves) —
+//! keeping the crate dependency-free. Unknown top-level keys are
+//! ignored for forward compatibility.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen (file → rule → count) debt.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// Budget for (file, rule); zero when absent.
+    pub fn get(&self, path: &str, rule: &str) -> usize {
+        self.entries
+            .get(path)
+            .and_then(|m| m.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn entries(&self) -> &BTreeMap<String, BTreeMap<String, usize>> {
+        &self.entries
+    }
+
+    pub fn from_counts(counts: BTreeMap<String, BTreeMap<String, usize>>) -> Baseline {
+        let entries = counts
+            .into_iter()
+            .map(|(p, m)| (p, m.into_iter().filter(|&(_, n)| n > 0).collect()))
+            .filter(|(_, m): &(_, BTreeMap<String, usize>)| !m.is_empty())
+            .collect();
+        Baseline { entries }
+    }
+
+    /// Serialize in the stable on-disk format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": {");
+        let mut first_file = true;
+        for (path, rules) in &self.entries {
+            if !first_file {
+                s.push(',');
+            }
+            first_file = false;
+            let _ = write!(s, "\n    {}: {{ ", quote(path));
+            let mut first_rule = true;
+            for (rule, n) in rules {
+                if !first_rule {
+                    s.push_str(", ");
+                }
+                first_rule = false;
+                let _ = write!(s, "{}: {}", quote(rule), n);
+            }
+            s.push_str(" }");
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse the on-disk format. Errors carry a byte offset for context.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.eat(b'{')?;
+        let mut entries = BTreeMap::new();
+        loop {
+            p.skip_ws();
+            if p.try_eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "entries" => {
+                    p.eat(b'{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.try_eat(b'}') {
+                            break;
+                        }
+                        let path = p.string()?;
+                        p.skip_ws();
+                        p.eat(b':')?;
+                        p.skip_ws();
+                        p.eat(b'{')?;
+                        let mut rules = BTreeMap::new();
+                        loop {
+                            p.skip_ws();
+                            if p.try_eat(b'}') {
+                                break;
+                            }
+                            let rule = p.string()?;
+                            p.skip_ws();
+                            p.eat(b':')?;
+                            p.skip_ws();
+                            let n = p.number()?;
+                            rules.insert(rule, n);
+                            p.skip_ws();
+                            p.try_eat(b',');
+                        }
+                        entries.insert(path, rules);
+                        p.skip_ws();
+                        p.try_eat(b',');
+                    }
+                }
+                _ => p.skip_value()?, // "version" and forward-compat keys
+            }
+            p.skip_ws();
+            p.try_eat(b',');
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected `{}`",
+                self.pos, b as char
+            ))
+        }
+    }
+
+    fn try_eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("baseline parse error: unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(format!(
+                                "baseline parse error at byte {}: unsupported escape {:?}",
+                                self.pos, other
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&c| (c & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "baseline parse error: invalid UTF-8".to_string())?,
+                    );
+                    let _ = b;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!(
+                "baseline parse error at byte {}: expected a number",
+                self.pos
+            ));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "baseline parse error: bad number".to_string())
+    }
+
+    /// Skip any scalar or (possibly nested) object/array value.
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') | Some(b'[') => {
+                let open = self.bytes[self.pos];
+                let close = if open == b'{' { b'}' } else { b']' };
+                self.pos += 1;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.bytes.get(self.pos) {
+                        None => return Err("baseline parse error: unterminated value".into()),
+                        Some(b'"') => {
+                            self.string()?;
+                            continue;
+                        }
+                        Some(&b) if b == open => depth += 1,
+                        Some(&b) if b == close => depth -= 1,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                // number / true / false / null: scan to a delimiter.
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| !matches!(b, b',' | b'}' | b']') && !b.is_ascii_whitespace())
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, &str, usize)]) -> BTreeMap<String, BTreeMap<String, usize>> {
+        let mut m: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for &(p, r, n) in pairs {
+            m.entry(p.to_string()).or_default().insert(r.to_string(), n);
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = Baseline::from_counts(counts(&[
+            ("crates/core/src/partition.rs", "slice-index", 24),
+            ("crates/core/src/partition.rs", "panic-expect", 3),
+            ("crates/xml/src/parser.rs", "panic-unwrap", 7),
+        ]));
+        let json = b.to_json();
+        let b2 = Baseline::parse(&json).expect("invariant: writer output must re-parse");
+        assert_eq!(b, b2);
+        assert_eq!(b2.get("crates/core/src/partition.rs", "slice-index"), 24);
+        assert_eq!(b2.get("crates/xml/src/parser.rs", "slice-index"), 0);
+    }
+
+    #[test]
+    fn zero_counts_are_dropped() {
+        let b = Baseline::from_counts(counts(&[("a.rs", "panic-unwrap", 0)]));
+        assert!(b.entries().is_empty());
+        assert_eq!(b.to_json(), "{\n  \"version\": 1,\n  \"entries\": {}\n}\n");
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let src = r#"{ "version": 2, "generator": "future", "entries": { "a.rs": { "panic-unwrap": 1 } }, "extra": [1, {"x": 2}] }"#;
+        let b = Baseline::parse(src).expect("invariant: forward-compatible parse");
+        assert_eq!(b.get("a.rs", "panic-unwrap"), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse(r#"{ "entries": { "a.rs": { "r": x } } }"#).is_err());
+    }
+
+    #[test]
+    fn deterministic_output_is_sorted() {
+        let b = Baseline::from_counts(counts(&[("b.rs", "r", 1), ("a.rs", "r", 1)]));
+        let json = b.to_json();
+        let a = json.find("a.rs").expect("invariant: a.rs serialized");
+        let bpos = json.find("b.rs").expect("invariant: b.rs serialized");
+        assert!(a < bpos);
+    }
+}

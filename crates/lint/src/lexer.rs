@@ -1,0 +1,481 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough tokenization
+//! for the invariant lints in [`crate::rules`].
+//!
+//! Scope: the lexer understands line/block comments (nested), string
+//! literals (plain, raw, byte, C), char literals vs. lifetimes,
+//! identifiers (including raw `r#ident`), numbers, and single-character
+//! punctuation. It does **not** build a syntax tree; the rules work on
+//! the token stream plus line information. That is deliberate: the bug
+//! classes we target (hash-order iteration, `unwrap()` call sites,
+//! missing crate attributes) are all recognizable at token level, and a
+//! token-level tool cannot be broken by the kind of macro-heavy code a
+//! real parser would choke on.
+//!
+//! Comments are not tokens; they are collected separately so waiver
+//! scanning ([`crate::source`]) can see them while rules see only code.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`). Kept distinct so char-literal
+    /// heuristics cannot confuse rules.
+    Lifetime,
+    /// String literal; `text` holds the *contents* (quotes stripped,
+    /// escapes left undecoded — enough for prefix checks).
+    Str,
+    /// Char or byte literal; `text` holds the raw source.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this token the given identifier?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block) with its line span and raw text
+/// (comment markers stripped for line comments, kept for block bodies).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+    /// True when the comment is the only thing on its line (after
+    /// whitespace) — such comments waive the *following* line too.
+    pub own_line: bool,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`). Doc
+    /// comments never carry waivers — prose describing the waiver
+    /// syntax must not accidentally enact it.
+    pub doc: bool,
+}
+
+/// Lex `src` into code tokens plus a parallel comment list.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line started (to detect own-line
+    /// comments).
+    line_start: usize,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        *self.bytes.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.toks.push(Tok {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_lit(start, line),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_string() => {}
+                b'\'' => self.char_or_lifetime(start, line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ => {
+                    // Multi-byte UTF-8 or punctuation: consume one char.
+                    self.bump();
+                    while self.pos < self.bytes.len() && (self.peek(0) & 0xC0) == 0x80 {
+                        self.pos += 1; // continuation bytes, never '\n'
+                    }
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn own_line_comment(&self, start: usize) -> bool {
+        self.src[self.line_start..start]
+            .chars()
+            .all(char::is_whitespace)
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = self.own_line_comment(start);
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let raw = &self.src[start..self.pos];
+        let doc = raw.starts_with("///") || raw.starts_with("//!");
+        let mut text = raw;
+        while let Some(rest) = text.strip_prefix('/') {
+            text = rest;
+        }
+        let text = text.strip_prefix('!').unwrap_or(text);
+        self.comments.push(Comment {
+            line,
+            end_line: line,
+            text: text.trim().to_string(),
+            own_line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = self.own_line_comment(start);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let raw = &self.src[start..self.pos];
+        let doc = raw.starts_with("/**") && !raw.starts_with("/***") || raw.starts_with("/*!");
+        self.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: raw
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim()
+                .to_string(),
+            own_line,
+            doc,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, raw idents
+    /// `r#ident`, and `c"…"`. Returns true when it consumed something.
+    fn raw_or_prefixed_string(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let b0 = self.peek(0);
+        // b'x' byte char.
+        if b0 == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            self.char_or_lifetime(start, line);
+            return true;
+        }
+        // b"…" / c"…" plain string with prefix.
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == b'"' {
+            self.bump();
+            self.string_lit(start, line);
+            return true;
+        }
+        // r / br / cr raw strings, and raw idents r#ident.
+        let mut off = 1usize;
+        if b0 == b'b' || b0 == b'c' {
+            if self.peek(1) != b'r' {
+                return false;
+            }
+            off = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(off + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(off + hashes) == b'"' {
+            // Raw string: consume prefix, hashes, then scan to `"` + hashes.
+            for _ in 0..off + hashes + 1 {
+                self.bump();
+            }
+            let content_start = self.pos;
+            loop {
+                if self.pos >= self.bytes.len() {
+                    break;
+                }
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let text = self.src[content_start..self.pos].to_string();
+                        for _ in 0..1 + hashes {
+                            self.bump();
+                        }
+                        self.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text,
+                            line,
+                        });
+                        return true;
+                    }
+                }
+                self.bump();
+            }
+            // Unterminated raw string: emit what we have.
+            self.toks.push(Tok {
+                kind: TokKind::Str,
+                text: self.src[content_start..self.pos].to_string(),
+                line,
+            });
+            return true;
+        }
+        if b0 == b'r' && hashes == 1 && is_ident_start(self.peek(off + hashes)) {
+            // Raw identifier r#ident: token text keeps the prefix off.
+            self.bump(); // r
+            self.bump(); // #
+            let id_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokKind::Ident, id_start, line);
+            return true;
+        }
+        false
+    }
+
+    fn string_lit(&mut self, start: usize, line: u32) {
+        // `start` may point at a b/c prefix; skip to the quote.
+        while self.peek(0) != b'"' && self.pos < self.bytes.len() {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let content_start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.src[content_start..self.pos].to_string();
+        self.bump(); // closing quote
+        let _ = start;
+        self.toks.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        });
+    }
+
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // self.pos is at `'` (possibly after a consumed b prefix).
+        self.bump(); // '
+        if self.peek(0) == b'\\' {
+            // Escaped char literal.
+            self.bump();
+            self.bump();
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            self.push(TokKind::Char, start, line);
+            return;
+        }
+        if is_ident_start(self.peek(0)) {
+            // Could be 'a (lifetime) or 'a' (char). Scan the ident.
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            if self.peek(0) == b'\'' {
+                self.bump();
+                self.push(TokKind::Char, start, line);
+            } else {
+                self.push(TokKind::Lifetime, start, line);
+            }
+            return;
+        }
+        // Non-ident char like '.' or '"'.
+        self.bump();
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Loose: digits plus alphanumerics, `_`, and `.` when followed by
+        // a digit (so `0..n` and `x.1` don't swallow ranges/fields).
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if is_ident_continue(b) || (b == b'.' && self.peek(1).is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("for x in m.iter() {}");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["for", "x", "in", "m", ".", "iter", "(", ")", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_code() {
+        let ks = kinds(r#"let s = "m.iter() // not code";"#);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("not code")));
+        // The `.iter()` inside the string must not show up as idents.
+        assert_eq!(ks.iter().filter(|(_, t)| t == "iter").count(), 0);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let ks = kinds(r##"let s = r#"a "quoted" b"#;"##);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"a "quoted" b"#));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_collected_not_tokenized() {
+        let (toks, comments) =
+            lex("let a = 1; // xsi-lint: allow(hash-iter, demo)\n/* block */ let b = 2;");
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokKind::Punct || t.text != "/"));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("xsi-lint: allow"));
+        assert!(!comments[0].own_line);
+        assert_eq!(comments[1].text, "block");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(comments.len(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_ident() {
+        let ks = kinds("let r#match = 1;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let ks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Str && t == "bytes"));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Report rendering: human diff-style text and machine-readable JSON.
+
+use crate::rules;
+use crate::{Finding, Report, Severity, Suppression};
+use std::fmt::Write as _;
+
+/// Human-readable rendering: one diff-style block per live finding,
+/// then a summary (per-rule counts, suppressions, todo inventory,
+/// ratchet improvements).
+pub fn human(report: &Report, deny_all: bool, verbose: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let show = match f.suppressed {
+            None => f.severity > Severity::Note,
+            Some(_) => verbose,
+        };
+        if !show {
+            continue;
+        }
+        render_finding(&mut out, f);
+    }
+
+    // Summary.
+    let live: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_none() && f.severity > Severity::Note)
+        .collect();
+    let fatal = report.fatal(deny_all).count();
+    let notes = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Note && f.suppressed.is_none())
+        .count();
+    let waived = report.count(Some(Suppression::Waived));
+    let baselined = report.count(Some(Suppression::Baselined));
+    let _ = writeln!(
+        out,
+        "xsi-lint: {} file(s) scanned, {} live finding(s) ({} fatal{}), {} waived, {} baselined, {} note(s)",
+        report.files.len(),
+        live.len(),
+        fatal,
+        if deny_all { " under --deny-all" } else { "" },
+        waived,
+        baselined,
+        notes,
+    );
+    let mut per_rule: Vec<(&str, usize)> = Vec::new();
+    for f in &live {
+        match per_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => per_rule.push((f.rule, 1)),
+        }
+    }
+    for (rule, n) in per_rule {
+        let _ = writeln!(out, "  {n:>4}  {rule}");
+    }
+    if !report.improvements.is_empty() {
+        let _ = writeln!(
+            out,
+            "ratchet: {} (file, rule) entr{} improved below baseline — run `xsi-lint --update-baseline` to re-freeze:",
+            report.improvements.len(),
+            if report.improvements.len() == 1 { "y" } else { "ies" },
+        );
+        for (path, rule, live, frozen) in &report.improvements {
+            let _ = writeln!(out, "  {path}: {rule} {frozen} -> {live}");
+        }
+    }
+    out
+}
+
+fn render_finding(out: &mut String, f: &Finding) {
+    let tag = match f.suppressed {
+        None => match f.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Note => "note",
+        },
+        Some(Suppression::Waived) => "waived",
+        Some(Suppression::Baselined) => "baselined",
+    };
+    let _ = writeln!(
+        out,
+        "{}:{}: [{}/{}] {}",
+        f.path, f.line, f.rule, tag, f.message
+    );
+    let num = f.line.to_string();
+    let pad = " ".repeat(num.len());
+    let _ = writeln!(out, " {pad} |");
+    let _ = writeln!(out, " {num} | {}", f.excerpt);
+    let _ = writeln!(out, " {pad} |");
+    if let Some(info) = rules::info(f.rule) {
+        let _ = writeln!(out, " {pad} = rule: {}", info.summary);
+    }
+    out.push('\n');
+}
+
+/// Machine-readable JSON: the full report including suppressed
+/// findings, per-rule severities, and the ratchet counts.
+pub fn json(report: &Report, deny_all: bool) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"tool\": \"xsi-lint\",");
+    let _ = writeln!(s, "  \"deny_all\": {deny_all},");
+    let _ = writeln!(s, "  \"files_scanned\": {},", report.files.len());
+    let _ = writeln!(s, "  \"fatal\": {},", report.fatal(deny_all).count());
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i + 1 == report.findings.len() {
+            ""
+        } else {
+            ","
+        };
+        let suppressed = match f.suppressed {
+            None => "null".to_string(),
+            Some(Suppression::Waived) => "\"waived\"".to_string(),
+            Some(Suppression::Baselined) => "\"baselined\"".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"suppressed\": {}, \"message\": {}}}{}",
+            quote(f.rule),
+            quote(match f.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+                Severity::Note => "note",
+            }),
+            quote(&f.path),
+            f.line,
+            suppressed,
+            quote(&f.message),
+            sep,
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ratchet\": {");
+    let mut first = true;
+    for (path, rules_map) in &report.ratchet_counts {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\n    {}: {{", quote(path));
+        let mut first_rule = true;
+        for (rule, n) in rules_map {
+            if !first_rule {
+                s.push_str(", ");
+            }
+            first_rule = false;
+            let _ = write!(s, "{}: {}", quote(rule), n);
+        }
+        s.push('}');
+    }
+    if !report.ratchet_counts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `--explain <rule>` text.
+pub fn explain(rule: &str) -> Option<String> {
+    let info = rules::info(rule)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "{} — {}", info.name, info.summary);
+    let _ = writeln!(
+        s,
+        "severity: {:?} | baselineable: {} | waivable: {}",
+        info.severity, info.baselineable, info.waivable
+    );
+    let _ = writeln!(s);
+    let _ = writeln!(s, "{}", info.explain);
+    Some(s)
+}
+
+/// `--list-rules` table.
+pub fn list_rules() -> String {
+    let mut s = String::new();
+    for r in rules::RULES {
+        let _ = writeln!(
+            s,
+            "{:<14} {:<5} {}{}",
+            r.name,
+            format!("{:?}", r.severity).to_lowercase(),
+            r.summary,
+            if r.baselineable { "  [ratcheted]" } else { "" },
+        );
+    }
+    s
+}

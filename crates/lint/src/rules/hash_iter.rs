@@ -1,0 +1,301 @@
+//! `hash-iter`: iteration over hash-ordered collections whose order can
+//! escape — the PR 2 `SimpleAkIndex` bug class. See the registry entry
+//! in [`super::RULES`] for the full contract.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Methods whose result exposes hash iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers that mark an order-insensitive downstream sink.
+const SAFE_SINKS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "max",
+    "min",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+    "all",
+    "any",
+    "product",
+];
+
+pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
+    let binders = collect_hash_binders(&f.toks);
+    if binders.is_empty() {
+        return;
+    }
+    let toks = &f.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if f.is_test_line(t.line) {
+            i += 1;
+            continue;
+        }
+        // Case 1: `<binder>.iter()` and friends.
+        if t.kind == TokKind::Ident
+            && binders.contains(t.text.as_str())
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|m| {
+                m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+            && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            if !sorted_downstream(toks, i + 3) {
+                let method = &toks[i + 2].text;
+                out.push(super::finding(
+                    f,
+                    "hash-iter",
+                    t.line,
+                    format!(
+                        "`{}.{}()` observes hash iteration order ({} is HashMap/HashSet-typed in this file); \
+                         sort the result, use a BTree container, or waive with the reason order cannot escape",
+                        t.text, method, t.text
+                    ),
+                ));
+            }
+            i += 4;
+            continue;
+        }
+        // Case 2: `for <pat> in … <binder> …  {` where the binder is the
+        // iterated expression (not behind a method call).
+        if t.is_ident("for") {
+            if let Some((hit_idx, brace_idx)) = for_loop_over_binder(toks, i, &binders) {
+                let name = toks[hit_idx].text.clone();
+                let line = toks[hit_idx].line;
+                if !sorted_downstream(toks, brace_idx) {
+                    out.push(super::finding(
+                        f,
+                        "hash-iter",
+                        line,
+                        format!(
+                            "`for … in {name}` iterates a HashMap/HashSet in hash order; \
+                             collect-and-sort first, use a BTree container, or waive with the reason order cannot escape"
+                        ),
+                    ));
+                }
+                i = brace_idx + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Names declared with a HashMap/HashSet type in this file: let
+/// bindings (`let m: HashMap<…>`, `let m = HashMap::new()`), struct
+/// fields, and fn parameters.
+fn collect_hash_binders(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut binders = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk backwards over a `std :: collections ::` style path.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = &toks[j - 1];
+        // `name : HashMap<…>` (binding, field, or parameter) — also
+        // allowing `name : & HashMap` / `name : & mut HashMap`.
+        let mut k = j - 1;
+        while k > 0
+            && (toks[k].is_punct('&')
+                || toks[k].is_ident("mut")
+                || toks[k].kind == TokKind::Lifetime)
+        {
+            k -= 1;
+        }
+        if toks[k].is_punct(':')
+            && k > 0
+            && !toks[k - 1].is_punct(':')
+            && toks[k - 1].kind == TokKind::Ident
+        {
+            binders.insert(toks[k - 1].text.as_str());
+            continue;
+        }
+        // `name = HashMap::new()` (type inferred from the constructor).
+        if prev.is_punct('=') && j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            binders.insert(toks[j - 2].text.as_str());
+        }
+    }
+    binders
+}
+
+/// For a `for` at `toks[start]`, find the loop header's iterated binder
+/// (an ident in `binders` not immediately followed by `.` or `(`).
+/// Returns (binder token index, body `{` index).
+fn for_loop_over_binder(
+    toks: &[Tok],
+    start: usize,
+    binders: &BTreeSet<&str>,
+) -> Option<(usize, usize)> {
+    // Find `in` at depth 0 before the body brace.
+    let mut j = start + 1;
+    let mut depth = 0i32;
+    let mut in_idx = None;
+    while j < toks.len() && j < start + 64 {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            in_idx = Some(j);
+            break;
+        } else if depth == 0 && t.is_punct('{') {
+            return None;
+        }
+        j += 1;
+    }
+    let in_idx = in_idx?;
+    // Scan the iterated expression up to the body `{`.
+    let mut hit = None;
+    let mut j = in_idx + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return hit.map(|h| (h, j));
+        } else if t.kind == TokKind::Ident && binders.contains(t.text.as_str()) {
+            let next = toks.get(j + 1);
+            let is_call_or_field = next.is_some_and(|n| n.is_punct('.') || n.is_punct('('));
+            // `m.len()` inside a range is not an iteration of `m`;
+            // `m.iter()` is handled by case 1.
+            if !is_call_or_field {
+                hit = Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scan the candidate's whole statement (from the previous `;`/`{`/`}`)
+/// plus the directly following statement for an order-insensitive sink
+/// (covers both `let b: BTreeMap<_, _> = m.iter()…` annotations and
+/// `let v = m.keys().collect(); v.sort();` follow-ups).
+fn sorted_downstream(toks: &[Tok], from: usize) -> bool {
+    let mut start = from;
+    while start > 0 {
+        let t = &toks[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let mut semis = 0;
+    for t in toks.iter().skip(start).take(250 + (from - start)) {
+        if t.kind == TokKind::Ident && SAFE_SINKS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.is_punct(';') {
+            semis += 1;
+            if semis >= 2 {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("demo.rs".into(), PathBuf::from("/demo.rs"), src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_iter_on_declared_hashmap() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for (k, v) in m.iter() { use_(k, v); } }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "hash-iter");
+    }
+
+    #[test]
+    fn flags_for_over_hashset_reference() {
+        let src = "fn f(seen: &HashSet<u32>) { for s in seen { push(s); } }";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn sort_downstream_suppresses() {
+        let src = "fn f() { let m = HashMap::new(); let mut v: Vec<_> = m.keys().collect(); v.sort_unstable(); }";
+        assert_eq!(lint(src).len(), 0);
+    }
+
+    #[test]
+    fn btree_collect_suppresses() {
+        let src = "fn f(m: HashMap<u32, u32>) { let b: BTreeMap<_, _> = m.into_iter().collect(); use_(b); }";
+        assert_eq!(lint(src).len(), 0);
+    }
+
+    #[test]
+    fn commutative_terminal_suppresses() {
+        let src = "fn f(m: HashMap<u32, u32>) { let total: u32 = m.values().sum(); use_(total); }";
+        assert_eq!(lint(src).len(), 0);
+    }
+
+    #[test]
+    fn len_in_for_range_is_not_iteration() {
+        let src = "fn f(m: HashMap<u32, u32>) { for i in 0..m.len() { use_(i); } }";
+        assert_eq!(lint(src).len(), 0);
+    }
+
+    #[test]
+    fn vec_iteration_untouched() {
+        let src = "fn f() { let v: Vec<u32> = Vec::new(); for x in v.iter() { use_(x); } }";
+        assert_eq!(lint(src).len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(m: HashMap<u32, u32>) { for x in m.iter() { use_(x); } }\n}";
+        assert_eq!(lint(src).len(), 0);
+    }
+}

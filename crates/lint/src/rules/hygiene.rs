@@ -1,0 +1,171 @@
+//! Hygiene rules: `forbid-unsafe` (crate roots must carry
+//! `#![forbid(unsafe_code)]`), `hot-assert` (release-mode asserts on
+//! hot maintenance paths), and the `todo` inventory. See the registry
+//! entries in [`super::RULES`].
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Hot-path files for `hot-assert` (suffix match).
+const HOT_SUFFIXES: &[&str] = &[
+    "core/src/partition.rs",
+    "core/src/engine.rs",
+    "core/src/batch.rs",
+    "core/src/oneindex/maintain.rs",
+    "core/src/akindex/maintain.rs",
+];
+
+pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
+    forbid_unsafe(f, out);
+    hot_assert(f, out);
+    todo_inventory(f, out);
+}
+
+/// Is this file a compilation-unit root (`crates/<c>/src/lib.rs`,
+/// `crates/<c>/src/main.rs`, or `crates/<c>/src/bin/<b>.rs`)?
+fn is_crate_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        [.., "src", last] => *last == "lib.rs" || *last == "main.rs",
+        [.., "src", "bin", _] => true,
+        _ => false,
+    }
+}
+
+fn forbid_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !is_crate_root(&f.rel_path) {
+        return;
+    }
+    let toks = &f.toks;
+    let found = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !found {
+        out.push(super::finding(
+            f,
+            "forbid-unsafe",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]` (workspace policy: pure safe Rust, \
+             so Miri/sanitizer CI gives blanket guarantees)"
+                .to_string(),
+        ));
+    }
+}
+
+fn hot_assert(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !HOT_SUFFIXES.iter().any(|s| f.rel_path.ends_with(s)) {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len().saturating_sub(1) {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "assert" | "assert_eq" | "assert_ne")
+            && toks[i + 1].is_punct('!')
+            && !f.is_test_line(t.line)
+        {
+            out.push(super::finding(
+                f,
+                "hot-assert",
+                t.line,
+                format!(
+                    "release-mode `{}!` on a hot maintenance path: use `debug_assert{}!` (exercised \
+                     by the release-debug-asserts CI job) or waive with the reason it must survive \
+                     release codegen",
+                    t.text,
+                    t.text.strip_prefix("assert").unwrap_or("")
+                ),
+            ));
+        }
+    }
+}
+
+fn todo_inventory(f: &SourceFile, out: &mut Vec<Finding>) {
+    for c in &f.comments {
+        // Skip waiver comments themselves and doc text that merely
+        // mentions the words in prose: require the classic marker form
+        // at a word boundary, upper-case.
+        for marker in ["TODO", "FIXME", "HACK", "XXX"] {
+            if let Some(pos) = c.text.find(marker) {
+                let before_ok = pos == 0 || !c.text.as_bytes()[pos - 1].is_ascii_alphanumeric();
+                let after = c.text.as_bytes().get(pos + marker.len());
+                let after_ok = after.is_none_or(|b| !b.is_ascii_alphanumeric());
+                if before_ok && after_ok {
+                    out.push(super::finding(
+                        f,
+                        "todo",
+                        c.line,
+                        format!("{}: {}", marker, c.text.trim()),
+                    ));
+                    break; // one inventory entry per comment
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.to_string(), PathBuf::from("/x").join(rel), src)
+    }
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        let f = file(rel, src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_on_lib_root() {
+        let hits = lint("crates/demo/src/lib.rs", "pub fn f() {}");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn present_forbid_is_clean() {
+        assert!(lint(
+            "crates/demo/src/lib.rs",
+            "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bin_targets_are_roots_but_modules_are_not() {
+        assert_eq!(lint("crates/demo/src/bin/tool.rs", "fn main() {}").len(), 1);
+        assert!(lint("crates/demo/src/util.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn hot_assert_flagged_only_on_hot_files() {
+        let src = "fn f(ok: bool) { assert!(ok, \"boom\"); debug_assert!(ok); }";
+        let hits = lint("crates/core/src/partition.rs", src);
+        assert_eq!(hits.iter().filter(|h| h.rule == "hot-assert").count(), 1);
+        let hits = lint("crates/core/src/check.rs", src);
+        assert!(hits.iter().all(|h| h.rule != "hot-assert"));
+    }
+
+    #[test]
+    fn todo_markers_inventoried() {
+        let hits = lint(
+            "crates/demo/src/util.rs",
+            "// TODO: finish\n// not a Todo in prose\n/* FIXME wire this */\nfn f() {}",
+        );
+        let todos: Vec<_> = hits.iter().filter(|h| h.rule == "todo").collect();
+        assert_eq!(todos.len(), 2);
+    }
+}

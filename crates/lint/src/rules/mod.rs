@@ -1,0 +1,231 @@
+//! The lint registry: one [`RuleInfo`] per rule, plus the dispatcher
+//! that runs every rule over a parsed [`SourceFile`].
+//!
+//! Adding a rule = adding a module with a `run(&SourceFile, &mut
+//! Vec<Finding>)` function, a [`RuleInfo`] entry here, and a fixture
+//! triple (positive / waived / clean) under `tests/fixtures/`.
+
+pub mod hash_iter;
+pub mod hygiene;
+pub mod obs_coverage;
+pub mod panics;
+
+use crate::source::SourceFile;
+use crate::{Finding, RuleInfo, Severity};
+
+/// Every rule the binary knows about, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-iter",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "iteration over HashMap/HashSet whose order can leak into index state or output",
+        explain: "\
+Iterating a std HashMap/HashSet observes RandomState ordering: two runs \
+of the same program (or the same run on another host) visit entries in \
+different orders. When that order feeds block identifiers, twin-merge \
+choices, serialized output, or trace/metric exports, the system becomes \
+nondeterministic — the exact PR 2 incident, where `SimpleAkIndex` leaked \
+HashMap iteration order into A(k) block assignment and the conformance \
+lab's exact-equality oracle caught it only dynamically, after a fuzz \
+soak.
+
+The rule flags `<binder>.iter() / iter_mut / into_iter / keys / values \
+/ values_mut / drain / into_keys / into_values` and `for … in <binder>` \
+where <binder> was declared (let binding, field, or parameter) with a \
+HashMap/HashSet type in the same file.
+
+A finding is suppressed when, within the same or the directly following \
+statement, the iteration flows into an order-insensitive sink: a sort \
+(`sort`, `sort_unstable*`, `sort_by*`), a collect into an ordered \
+container (`BTreeMap`, `BTreeSet`, `BinaryHeap`), or a commutative \
+terminal (`sum`, `count`, `max*`, `min*`, `all`, `any`, `product`).
+
+Fix: sort before use, collect into a BTreeMap/BTreeSet, or swap the \
+container. If the order provably cannot escape (e.g. it only picks an \
+arbitrary representative that is immediately canonicalized), waive with \
+`// xsi-lint: allow(hash-iter, <why order cannot escape>)`. This rule \
+is NOT baselineable: new hash-order hazards must be fixed or argued, \
+never frozen.",
+    },
+    RuleInfo {
+        name: "panic-unwrap",
+        severity: Severity::Deny,
+        baselineable: true,
+        waivable: true,
+        summary: "`.unwrap()` in non-test library code (ratcheted)",
+        explain: "\
+`unwrap()` turns a recoverable condition into a process abort with a \
+message that names neither the invariant nor the operation — the \
+opposite of what a production maintenance engine serving live update \
+traffic wants. PR 1 shipped a root-removal atomicity bug whose symptom \
+was exactly such an uninformative panic mid-pipeline.
+
+Non-test occurrences count against the ratchet baseline \
+(`lint-baseline.json`): existing debt is frozen per (file, rule), and \
+any *new* occurrence fails CI. Burn debt down by converting to \
+`expect(\"invariant: <what must hold and why>\")` when the condition is \
+a genuine internal invariant, or to a `Result` when it is reachable \
+from user input. After burning down, re-freeze with `--update-baseline`.",
+    },
+    RuleInfo {
+        name: "panic-expect",
+        severity: Severity::Deny,
+        baselineable: true,
+        waivable: true,
+        summary: "`.expect(\"…\")` without an `invariant:`/`checked:` context prefix (ratcheted)",
+        explain: "\
+`expect` is only better than `unwrap` when the message tells the \
+on-call reader what invariant broke. The project convention (DESIGN.md \
+§9) is a structured prefix: `expect(\"invariant: <what must hold>\")` \
+for internal consistency conditions, `expect(\"checked: <where it was \
+checked>\")` when the condition was validated earlier on the same path. \
+Messages like `expect(\"child count underflow\")` describe the symptom, \
+not the contract, and are flagged.
+
+Occurrences are ratcheted like `panic-unwrap`. Non-literal messages \
+(built with `format!` or a variable) are assumed contextful and are \
+not flagged.",
+    },
+    RuleInfo {
+        name: "slice-index",
+        severity: Severity::Deny,
+        baselineable: true,
+        waivable: true,
+        summary: "panicking `container[index]` expressions in non-test code (ratcheted)",
+        explain: "\
+`xs[i]`, `map[&k]` and `&s[a..b]` panic on out-of-bounds / missing-key. \
+On hot maintenance paths that is often the right trade (bounds are \
+structural invariants and `get().expect()` would double-check), so this \
+rule exists as a *ratchet and inventory*, not a ban: every existing \
+call site is frozen in `lint-baseline.json`; new code is nudged toward \
+`get`/`get_mut` + explicit handling, or an \
+`// xsi-lint: allow(slice-index, <invariant that bounds it>)` waiver \
+that names the bounding invariant.",
+    },
+    RuleInfo {
+        name: "obs-coverage",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "pub mutation entry points in engine/maintainers must feed the obs layer",
+        explain: "\
+DESIGN.md §8's flight-recorder story is only as good as its coverage: \
+a mutation entry point that bypasses the observability layer produces \
+traces with silent holes, which is worse than no traces. This rule \
+checks every `pub fn` taking `&mut self` in `core/src/engine.rs`, \
+`core/src/oneindex/maintain.rs` and `core/src/akindex/maintain.rs`: \
+the function (signature or body) must reference the obs hub (`obs`, \
+`emit`, `observe_*`) or the `UpdateStats` phase counters \
+(`UpdateStats`, `stats`, `split_nanos`, `merge_nanos`, `queue_peak`, \
+`levels_touched`) that the hub exports.
+
+Pure delegators (e.g. a convenience wrapper that forwards to an \
+instrumented sibling) should carry a waiver naming the instrumented \
+callee: `// xsi-lint: allow(obs-coverage, delegates to apply_batch)`.",
+    },
+    RuleInfo {
+        name: "forbid-unsafe",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: false,
+        summary: "crate roots (lib.rs / main.rs / src/bin/*.rs) must carry #![forbid(unsafe_code)]",
+        explain: "\
+The workspace is pure safe Rust by policy — the algorithms never need \
+`unsafe`, and Miri/sanitizer CI only gives blanket guarantees if that \
+stays true. `forbid` (not `deny`) so no inner `allow` can re-enable it. \
+Every compilation-unit root must carry the attribute: each crate's \
+`src/lib.rs` or `src/main.rs`, and every `src/bin/*.rs` (cargo treats \
+each as its own crate root). Not waivable; add the attribute.",
+    },
+    RuleInfo {
+        name: "hot-assert",
+        severity: Severity::Warn,
+        baselineable: false,
+        waivable: true,
+        summary: "release-mode assert!/assert_eq!/assert_ne! on hot maintenance paths",
+        explain: "\
+The split/merge inner loops run once per update at production rates; \
+their invariant checks belong in `debug_assert!` (exercised by the \
+dedicated `release-debug-asserts` CI job with `-C debug-assertions=on`) \
+so release builds pay nothing. A bare `assert!` on \
+`partition.rs`/`engine.rs`/`batch.rs`/the two `maintain.rs` files is \
+either a downgraded debug_assert (fix it) or a deliberate last-line \
+release guard — in which case waive with the reason it must survive \
+release codegen, e.g. `// xsi-lint: allow(hot-assert, guards memory \
+safety of the extent swap)`.",
+    },
+    RuleInfo {
+        name: "todo",
+        severity: Severity::Note,
+        baselineable: false,
+        waivable: true,
+        summary: "TODO/FIXME/HACK/XXX comment inventory (informational)",
+        explain: "\
+Pure inventory: every TODO/FIXME/HACK/XXX comment is listed so the \
+backlog is visible in one place (`xsi-lint --json | …`). Never fails \
+the run, not even under --deny-all.",
+    },
+    RuleInfo {
+        name: "bad-waiver",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: false,
+        summary: "malformed or unknown xsi-lint waiver comments",
+        explain: "\
+A waiver that fails to parse (missing reason, bad syntax) or names a \
+rule that does not exist would otherwise silently fail to suppress — \
+or worse, make a reviewer believe a hazard was assessed when the \
+marker is inert. Waivers are load-bearing annotations; broken ones are \
+themselves findings. Fix the waiver: \
+`// xsi-lint: allow(<rule>, <reason>)` with a real rule name and a \
+non-empty reason.",
+    },
+];
+
+/// Look up a rule's static description.
+pub fn info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Run every rule over one file.
+pub fn run_all(f: &SourceFile, out: &mut Vec<Finding>) {
+    hash_iter::run(f, out);
+    panics::run(f, out);
+    obs_coverage::run(f, out);
+    hygiene::run(f, out);
+    // bad-waiver: malformed directives, plus waivers naming unknown rules.
+    for bw in &f.bad_waivers {
+        out.push(finding(f, "bad-waiver", bw.line, bw.message.clone()));
+    }
+    for w in &f.waivers {
+        if info(&w.rule).is_none() {
+            out.push(finding(
+                f,
+                "bad-waiver",
+                w.line,
+                format!(
+                    "waiver names unknown rule `{}` (known: {})",
+                    w.rule,
+                    RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Construct a finding for `rule` at `line`, with severity from the
+/// registry and the source line as excerpt.
+pub(crate) fn finding(f: &SourceFile, rule: &'static str, line: u32, message: String) -> Finding {
+    let severity = info(rule).map(|r| r.severity).unwrap_or(Severity::Deny);
+    Finding {
+        rule,
+        severity,
+        path: f.rel_path.clone(),
+        line,
+        message,
+        excerpt: f.line_text(line).trim_end().to_string(),
+        suppressed: None,
+    }
+}

@@ -1,0 +1,148 @@
+//! Panic-freedom ratchet rules: `panic-unwrap`, `panic-expect`,
+//! `slice-index`. Occurrences in non-test code are counted against the
+//! committed baseline; see the registry entries in [`super::RULES`].
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Context prefixes that make an `expect` message acceptable.
+const EXPECT_PREFIXES: &[&str] = &["invariant:", "checked:"];
+
+/// Keywords that may legitimately precede a `[` without it being an
+/// indexing expression (slice patterns, array literals in bindings…).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "const", "static", "move", "as",
+    "dyn", "impl", "for", "where", "box", "break", "yield",
+];
+
+pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.is_test_line(t.line) {
+            continue;
+        }
+        // `.unwrap()`
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|m| m.is_ident("unwrap"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            out.push(super::finding(
+                f,
+                "panic-unwrap",
+                toks[i + 1].line,
+                "`.unwrap()` in non-test code: convert to `expect(\"invariant: …\")` or return a `Result`"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // `.expect("…")` without a context prefix.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|m| m.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some(msg) = toks.get(i + 3).filter(|m| m.kind == TokKind::Str) {
+                if !EXPECT_PREFIXES.iter().any(|p| msg.text.starts_with(p)) {
+                    out.push(super::finding(
+                        f,
+                        "panic-expect",
+                        toks[i + 1].line,
+                        format!(
+                            "`.expect(\"{}\")` lacks a context prefix: name the contract, e.g. \
+                             `expect(\"invariant: <what must hold>\")`",
+                            msg.text
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // `expr[…]` indexing: `[` preceded by an identifier (that is not
+        // a keyword), `)` or `]`.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexable = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if indexable {
+                let what = if prev.kind == TokKind::Ident {
+                    format!("`{}[…]`", prev.text)
+                } else {
+                    "`…[…]`".to_string()
+                };
+                out.push(super::finding(
+                    f,
+                    "slice-index",
+                    t.line,
+                    format!(
+                        "{what} panics out of bounds; prefer `get`/`get_mut`, or waive naming the bounding invariant"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("demo.rs".into(), PathBuf::from("/demo.rs"), src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged() {
+        assert_eq!(rules("fn f() { x().unwrap(); }"), ["panic-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        assert!(rules("fn f() { x().unwrap_or(0); x().unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn expect_without_prefix_flagged() {
+        assert_eq!(rules(r#"fn f() { x().expect("boom"); }"#), ["panic-expect"]);
+    }
+
+    #[test]
+    fn expect_with_invariant_prefix_ok() {
+        assert!(
+            rules(r#"fn f() { x().expect("invariant: queue nonempty while work remains"); }"#)
+                .is_empty()
+        );
+        assert!(rules(r#"fn f() { x().expect("checked: validated in apply_batch"); }"#).is_empty());
+    }
+
+    #[test]
+    fn expect_with_computed_message_ok() {
+        assert!(rules("fn f() { x().expect(&msg); }").is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_patterns_or_attrs() {
+        assert_eq!(rules("fn f() { y(xs[i]); }"), ["slice-index"]);
+        assert_eq!(rules("fn f() { g()[0]; }"), ["slice-index"]);
+        assert!(rules("#[derive(Debug)] struct S;").is_empty());
+        assert!(rules("fn f() { let [a, b] = pair; use_(a, b); }").is_empty());
+        assert!(rules("fn f() -> [u8; 4] { make() }").is_empty());
+        assert!(rules("fn f() { let v = vec![1, 2]; use_(v); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_skipped() {
+        assert!(rules("#[cfg(test)]\nmod tests {\n fn t() { x().unwrap(); }\n}").is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Golden fixture tests: each rule fires on its positive example,
+//! respects waivers, and stays quiet on the clean counter-example —
+//! plus a baseline round-trip and a self-run over the real workspace.
+
+use std::path::{Path, PathBuf};
+use xsi_lint::baseline::Baseline;
+use xsi_lint::source::SourceFile;
+use xsi_lint::{LintConfig, Report, Suppression};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn run_fixture(baseline: Option<Baseline>) -> Report {
+    let config = LintConfig {
+        root: fixture_root(),
+        baseline,
+        deny_all: true,
+    };
+    xsi_lint::run(&config).expect("fixture tree is readable")
+}
+
+/// Live (unsuppressed) findings for one rule, as (path, line) pairs.
+fn live(report: &Report, rule: &str) -> Vec<(String, u32)> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .map(|f| (f.path.clone(), f.line))
+        .collect()
+}
+
+fn count_suppressed(report: &Report, rule: &str, how: Suppression) -> usize {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed == Some(how))
+        .count()
+}
+
+#[test]
+fn hash_iter_fires_respects_waiver_and_sort() {
+    let r = run_fixture(None);
+    let hits = live(&r, "hash-iter");
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the unsorted escaping iteration: {hits:?}"
+    );
+    assert_eq!(hits[0].0, "crates/core/src/lib.rs");
+    assert_eq!(count_suppressed(&r, "hash-iter", Suppression::Waived), 1);
+}
+
+#[test]
+fn panic_rules_fire_and_accept_contract_prefixes() {
+    let r = run_fixture(None);
+    assert_eq!(
+        live(&r, "panic-unwrap").len(),
+        1,
+        "{:?}",
+        live(&r, "panic-unwrap")
+    );
+    // `expect("present")` fires; `expect("invariant: …")` does not.
+    assert_eq!(
+        live(&r, "panic-expect").len(),
+        1,
+        "{:?}",
+        live(&r, "panic-expect")
+    );
+    assert_eq!(
+        live(&r, "slice-index").len(),
+        1,
+        "{:?}",
+        live(&r, "slice-index")
+    );
+}
+
+#[test]
+fn obs_coverage_fires_on_uninstrumented_entry_point_only() {
+    let r = run_fixture(None);
+    let hits = live(&r, "obs-coverage");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/engine.rs");
+    assert_eq!(count_suppressed(&r, "obs-coverage", Suppression::Waived), 1);
+}
+
+#[test]
+fn hygiene_rules_fire() {
+    let r = run_fixture(None);
+    let unsafe_hits = live(&r, "forbid-unsafe");
+    assert_eq!(unsafe_hits.len(), 1, "{unsafe_hits:?}");
+    assert_eq!(unsafe_hits[0].0, "crates/nofb/src/lib.rs");
+    assert_eq!(live(&r, "hot-assert").len(), 1);
+    assert_eq!(live(&r, "todo").len(), 1);
+    // The reason-less waiver is reported, not silently honoured.
+    assert_eq!(live(&r, "bad-waiver").len(), 1);
+}
+
+#[test]
+fn baseline_round_trips_and_suppresses() {
+    let first = run_fixture(None);
+    let frozen = Baseline::from_counts(first.ratchet_counts.clone());
+    let json = frozen.to_json();
+    let reparsed = Baseline::parse(&json).expect("self-written baseline parses");
+    assert_eq!(reparsed.to_json(), json, "parse∘to_json is a fixpoint");
+
+    let second = run_fixture(Some(reparsed));
+    // Every ratcheted finding is now baselined…
+    assert_eq!(live(&second, "panic-unwrap").len(), 0);
+    assert_eq!(live(&second, "panic-expect").len(), 0);
+    assert_eq!(live(&second, "slice-index").len(), 0);
+    assert!(second.count(Some(Suppression::Baselined)) >= 3);
+    // …but non-ratcheted rules still fire.
+    assert_eq!(live(&second, "hash-iter").len(), 1);
+    assert_eq!(live(&second, "forbid-unsafe").len(), 1);
+}
+
+#[test]
+fn workspace_self_run_is_clean_under_deny_all() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("committed ratchet baseline");
+    let config = LintConfig {
+        root,
+        baseline: Some(Baseline::parse(&text).expect("committed baseline parses")),
+        deny_all: true,
+    };
+    let report = xsi_lint::run(&config).expect("workspace is readable");
+    let fatal: Vec<String> = report
+        .fatal(true)
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        fatal.is_empty(),
+        "self-run must be clean:\n{}",
+        fatal.join("\n")
+    );
+}
+
+#[test]
+fn reintroducing_hash_iteration_into_simple_ak_fails_the_lint() {
+    // The PR 2 regression: SimpleAkIndex once let HashMap order pick
+    // block ids. Appending such code to today's file must be caught.
+    let root = workspace_root();
+    let path = root.join("crates/core/src/akindex/simple.rs");
+    let mut src = std::fs::read_to_string(&path).expect("simple.rs exists");
+    src.push_str(
+        "\npub fn regression(&self) -> Vec<u32> {\n\
+         \tlet mut out = Vec::new();\n\
+         \tfor (&b, _) in &self.members {\n\
+         \t\tout.push(b);\n\
+         \t}\n\
+         \tout\n\
+         }\n",
+    );
+    let parsed = SourceFile::parse("crates/core/src/akindex/simple.rs".to_string(), path, &src);
+    let config = LintConfig {
+        root,
+        baseline: None,
+        deny_all: true,
+    };
+    let report = xsi_lint::run_on_sources(&config, &[parsed]);
+    let hits = live(&report, "hash-iter");
+    assert!(
+        !hits.is_empty(),
+        "raw members iteration must trip hash-iter"
+    );
+}

@@ -1,0 +1,36 @@
+//! Fixture engine: obs-coverage and hot-assert expectations. The file's
+//! path suffix (`core/src/engine.rs`) puts it on both rules' target
+//! lists.
+
+pub struct Engine {
+    pub stats_total: u64,
+}
+
+impl Engine {
+    pub fn uninstrumented(&mut self, n: u64) -> u64 {
+        n + 1
+    }
+
+    pub fn instrumented(&mut self, n: u64) -> u64 {
+        let stats = n; // UpdateStats bookkeeping stand-in
+        self.stats_total += stats;
+        stats
+    }
+
+    // xsi-lint: allow(obs-coverage, thin shim; instrumented() books the stats)
+    pub fn waived_shim(&mut self, n: u64) -> u64 {
+        self.instrumented(n)
+    }
+
+    pub fn hot_assert_positive(&mut self, n: u64) {
+        assert!(n > 0, "n must be positive");
+        let stats = n;
+        self.stats_total += stats;
+    }
+
+    pub fn hot_assert_clean(&mut self, n: u64) {
+        debug_assert!(n > 0, "n must be positive");
+        let stats = n;
+        self.stats_total += stats;
+    }
+}

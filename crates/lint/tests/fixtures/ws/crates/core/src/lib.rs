@@ -1,0 +1,65 @@
+//! Fixture crate: determinism + panic findings, waivers, and clean
+//! counter-examples, one per golden expectation in `tests/fixtures.rs`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn hash_iter_positive(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn hash_iter_waived(m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    // xsi-lint: allow(hash-iter, xor is commutative, order cannot escape)
+    for (&k, _) in m.iter() {
+        acc ^= k;
+    }
+    acc
+}
+
+pub fn hash_iter_sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn unwrap_positive(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_positive(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn expect_clean(x: Option<u32>) -> u32 {
+    x.expect("invariant: caller checked emptiness")
+}
+
+pub fn slice_index_positive(v: &[u32]) -> u32 {
+    v[0]
+}
+
+// TODO: tighten the fixture once the rule set grows.
+
+// xsi-lint: allow(hash-iter)
+pub fn bad_waiver_line() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, _) in m.iter() {
+            let _ = k;
+        }
+        let _ = None::<u32>.unwrap_or(0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture crate root without `#![forbid(unsafe_code)]` — the
+//! forbid-unsafe rule must flag it.
+
+pub fn noop() {}

@@ -53,6 +53,7 @@ pub(crate) fn advance_graph(
     let mut next: HashSet<NodeId> = HashSet::new();
     match step.axis {
         Axis::Child => {
+            // xsi-lint: allow(hash-iter, set-to-set expansion; the result is a HashSet, order never escapes)
             for &u in frontier {
                 for v in g.succ(u) {
                     if allowed(v) && node_matches(g, v, &step.test) {
@@ -63,6 +64,7 @@ pub(crate) fn advance_graph(
         }
         Axis::Descendant => {
             let mut seen: HashSet<NodeId> = HashSet::new();
+            // xsi-lint: allow(hash-iter, set-to-set expansion; reachability is order-independent)
             let mut stack: Vec<NodeId> = frontier.iter().copied().collect();
             while let Some(u) = stack.pop() {
                 for v in g.succ(u) {
@@ -71,6 +73,7 @@ pub(crate) fn advance_graph(
                     }
                 }
             }
+            // xsi-lint: allow(hash-iter, set-to-set filter; the result is a HashSet, order never escapes)
             for v in seen {
                 if node_matches(g, v, &step.test) {
                     next.insert(v);
@@ -117,6 +120,7 @@ where
         let mut next: HashSet<B> = HashSet::new();
         match step.axis {
             Axis::Child => {
+                // xsi-lint: allow(hash-iter, set-to-set expansion; the result is a HashSet, order never escapes)
                 for &b in &frontier {
                     for c in succ(b) {
                         if label_ok(c, &step.test) {
@@ -127,6 +131,7 @@ where
             }
             Axis::Descendant => {
                 let mut seen: HashSet<B> = HashSet::new();
+                // xsi-lint: allow(hash-iter, set-to-set expansion; reachability is order-independent)
                 let mut stack: Vec<B> = frontier.iter().copied().collect();
                 while let Some(b) = stack.pop() {
                     for c in succ(b) {
@@ -135,6 +140,7 @@ where
                         }
                     }
                 }
+                // xsi-lint: allow(hash-iter, set-to-set filter; the result is a HashSet, order never escapes)
                 for c in seen {
                     if label_ok(c, &step.test) {
                         next.insert(c);

@@ -38,6 +38,8 @@
 //! # Ok::<(), xsi_graph::GraphError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod estimate;
 mod eval;
 mod expr;

@@ -1,3 +1,4 @@
 //! Intentionally empty: this crate exists only to host the workspace's
 //! cross-crate integration suites under `tests/`. See the package
 //! manifest for the rationale.
+#![forbid(unsafe_code)]

@@ -19,6 +19,8 @@
 //! protocols: the 20 % IDREF edge pool with alternating insert/delete
 //! pairs, and the auction-subtree extraction used for Figure 12.
 
+#![forbid(unsafe_code)]
+
 pub mod dblp;
 pub mod imdb;
 pub mod rng;

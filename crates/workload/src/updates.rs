@@ -123,6 +123,7 @@ pub fn collect_subtree_roots(g: &Graph, label: &str, count: usize, seed: u64) ->
                 }
             }
         }
+        // xsi-lint: allow(hash-iter, sets per-node booleans; marking order is immaterial)
         for &n in &seen {
             claimed[n.index()] = true;
         }

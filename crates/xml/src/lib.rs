@@ -27,6 +27,8 @@
 //! assert_eq!(parsed.graph.edge_count_of_kind(xsi_graph::EdgeKind::IdRef), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod parser;
 mod serializer;
 
