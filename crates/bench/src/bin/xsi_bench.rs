@@ -105,6 +105,9 @@ fn main() {
         applied as f64 / wall.as_secs_f64().max(1e-9)
     );
 
+    // Sample the dense-store representation state once at the export
+    // point: `store_*` gauges + the probe-length histogram per family.
+    engine.publish_store_reports();
     engine.obs_mut().flush();
 
     if let Some(path) = prom_out.as_deref() {

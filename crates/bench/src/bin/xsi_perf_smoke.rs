@@ -1,0 +1,114 @@
+//! `xsi_perf_smoke` — the CI perf-smoke harness: a split/merge-heavy
+//! micro-benchmark over the data-plane hot path, with a JSON artifact so
+//! the perf trajectory has a recorded baseline (EXPERIMENTS.md, "Perf
+//! smoke").
+//!
+//! The measured kernels are chosen to live almost entirely inside the
+//! maintenance inner loops — splitter scans, partner classification,
+//! iedge-count updates, merge folding — rather than graph mutation or
+//! driver overhead:
+//!
+//! * `1index_pair` / `ak3_pair`: insert + delete of a pooled IDREF edge
+//!   (the index returns to its starting partition, so each iteration
+//!   does one full split phase and one full merge phase);
+//! * `1index_build` / `ak3_build`: Paige–Tarjan refinement from scratch
+//!   (pure splitter-scan throughput).
+//!
+//! Usage: `xsi_perf_smoke [--scale 0.05] [--seed 42] [--json out.json]`.
+//! Not a statistics suite — medians of 11 batches via `micro::bench`,
+//! honest but container-noisy; compare trends, not single digits.
+
+#![forbid(unsafe_code)]
+
+use xsi_bench::micro::{bench_value, group, MicroResult};
+use xsi_bench::Args;
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
+
+fn setup(scale: f64, seed: u64) -> (Graph, Vec<(NodeId, NodeId)>) {
+    let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
+    let mut pool = EdgePool::extract(&mut g, 0.2, seed);
+    let mut edges = Vec::new();
+    for _ in 0..64 {
+        if let Some(e) = pool.next_insert() {
+            edges.push(e);
+        }
+    }
+    // The sampled edges stay OUT of the graph; each pair benchmark
+    // inserts then deletes one, returning the index to its start state.
+    (g, edges)
+}
+
+fn main() {
+    let args = Args::parse_env();
+    let scale = args.f64("scale", 0.05);
+    let seed = args.u64("seed", 42);
+
+    // Fail fast on an unwritable --json destination instead of burning the
+    // full benchmark run first; CI points this at target/perf which may not
+    // exist yet.
+    if let Some(path) = args.str("json") {
+        if let Some(dir) = std::path::Path::new(&path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xsi_perf_smoke: cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results: Vec<MicroResult> = Vec::new();
+    group(&format!("perf_smoke / xmark(scale={scale}, seed={seed})"));
+
+    {
+        let (mut g, edges) = setup(scale, seed);
+        let mut idx = OneIndex::build(&g);
+        let mut i = 0usize;
+        results.push(bench_value("1index_pair", || {
+            let (u, v) = edges[i % edges.len()]; // xsi-lint: allow(slice-index, i mod len is in range)
+            i += 1;
+            idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+            idx.delete_edge(&mut g, u, v).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+        }));
+    }
+    {
+        let (mut g, edges) = setup(scale, seed);
+        let mut idx = AkIndex::build(&g, 3);
+        let mut i = 0usize;
+        results.push(bench_value("ak3_pair", || {
+            let (u, v) = edges[i % edges.len()]; // xsi-lint: allow(slice-index, i mod len is in range)
+            i += 1;
+            idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+            idx.delete_edge(&mut g, u, v).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+        }));
+    }
+    {
+        let (g, _) = setup(scale, seed);
+        results.push(bench_value("1index_build", || OneIndex::build(&g)));
+        results.push(bench_value("ak3_build", || AkIndex::build(&g, 3)));
+    }
+
+    if let Some(path) = args.str("json") {
+        let mut out = String::from("{\"benchmarks\":[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"iters\":{}}}",
+                r.name, r.median_ns, r.min_ns, r.max_ns, r.iters
+            ));
+        }
+        out.push_str(&format!(
+            "],\"scale\":{scale},\"seed\":{seed},\"schema\":\"xsi-perf-smoke-v1\"}}\n"
+        ));
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("xsi_perf_smoke: write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("perf-smoke JSON written to {path}");
+    }
+}

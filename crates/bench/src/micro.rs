@@ -16,9 +16,30 @@ const TARGET_BATCH: Duration = Duration::from_millis(50);
 /// Number of measured batches (median reported).
 const BATCHES: usize = 11;
 
+/// The numbers behind one [`bench`] line, for callers (the `perf-smoke`
+/// harness) that persist results instead of only printing them.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Median ns/iteration over the measured batches.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iteration.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iteration.
+    pub max_ns: f64,
+    /// Iterations per measured batch (from calibration).
+    pub iters: u64,
+}
+
 /// One measured benchmark: `name` is printed alongside the median
 /// nanoseconds per iteration.
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) {
+    let _ = bench_value(name, f);
+}
+
+/// Like [`bench`], but also returns the measured numbers.
+pub fn bench_value<R>(name: &str, mut f: impl FnMut() -> R) -> MicroResult {
     // Warm-up and calibration: find an iteration count whose batch takes
     // roughly TARGET_BATCH.
     let mut iters = 1u64;
@@ -53,6 +74,13 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         "{name:<56} {:>12} ns/iter (min {lo:.0}, max {hi:.0}, {iters} iters/batch)",
         format!("{median:.0}")
     );
+    MicroResult {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: lo,
+        max_ns: hi,
+        iters,
+    }
 }
 
 /// Prints a section header for a group of related benchmarks.

@@ -88,8 +88,8 @@ impl IndexQueryView for DerivedView {
         &self.labels[b as usize]
     }
 
-    fn extent(&self, b: u32) -> Vec<NodeId> {
-        self.extents[b as usize].clone()
+    fn extent(&self, b: u32) -> &[NodeId] {
+        &self.extents[b as usize]
     }
 
     fn precise_up_to(&self) -> Option<usize> {

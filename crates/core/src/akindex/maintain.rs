@@ -7,17 +7,24 @@
 //!    (for insertions, ignoring the new edge itself). Levels `≤ i+1` are
 //!    untouched; levels `i+2..k` must single `v` out.
 //! 2. **Split phase.** Single `v` out at the affected levels, then run the
-//!    Paige–Tarjan compound propagation with level-tagged compounds,
+//!    shared [`kernel`] compound propagation with level-tagged compounds,
 //!    always processing the compound with the smallest level: a level-`j`
 //!    splitter stabilizes *all* levels `j+1..k` at once, so the refinement
 //!    tree stays nested.
 //! 3. **Merge phase.** For each affected level in ascending order, try to
 //!    re-merge `I⁽ʲ⁾[v]` with a sibling that has the same A(j−1)-index
-//!    parents, and iteratively merge among the cross-successors of every
-//!    freshly merged inode (smallest level first).
+//!    parents, and fold merges iteratively among the cross-successors of
+//!    every freshly merged inode ([`kernel::merge_fold`]).
 //!
 //! Lemmas 5/6 and Theorem 2: this maintains the unique minimal — hence
 //! **minimum** — set of A(i)-indexes on any data graph.
+//!
+//! The queue/propagation/fold mechanics live in [`crate::kernel`]; this
+//! module contributes the A(k)-specific primitives: the chain-wide
+//! `split_levels_by` stabilization (all per-call maps are epoch-stamped
+//! [`ScratchTable`](crate::store::ScratchTable)s on the index, so the hot
+//! path allocates nothing per call) and the (tree parent, cross-parent
+//! set) merge key.
 //!
 //! ### Splits move nodes, never re-parent blocks
 //!
@@ -30,91 +37,65 @@
 //! envelope the scan already pays, and no block ever has stale counts.
 
 use super::{ABlockId, AkIndex};
+use crate::kernel::{self, CompoundQueue, MergeDriver, SplitDriver};
 use crate::stats::UpdateStats;
-use std::collections::{HashMap, HashSet, VecDeque};
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
 
-/// Level-tagged compound-block queue; `pop_lowest` serves the compound
-/// with the smallest level first, as Figure 7 requires.
-#[derive(Default, Debug)]
-struct AkCompoundQueue {
-    slots: Vec<Option<(usize, Vec<ABlockId>)>>,
-    by_level: Vec<VecDeque<usize>>,
-    member: HashMap<ABlockId, usize>,
+impl SplitDriver for AkIndex {
+    type Block = ABlockId;
+
+    fn weight_of(&self, b: ABlockId) -> usize {
+        self.weight(b)
+    }
+
+    fn scan_succ(&mut self, g: &Graph, roots: &[ABlockId]) -> Vec<NodeId> {
+        self.collect_succ(g, roots)
+    }
+
+    fn stabilize(
+        &mut self,
+        g: &Graph,
+        marked: &[NodeId],
+        level: usize,
+        cq: &mut CompoundQueue<ABlockId>,
+        stats: &mut UpdateStats,
+    ) {
+        self.split_levels_by(g, marked, level, cq, stats);
+    }
 }
 
-impl AkCompoundQueue {
-    fn new(k: usize) -> Self {
-        AkCompoundQueue {
-            slots: Vec::new(),
-            by_level: (0..=k).map(|_| VecDeque::new()).collect(),
-            member: HashMap::new(),
-        }
+impl MergeDriver for AkIndex {
+    type Block = ABlockId;
+    /// (tree parent, sorted cross-parent set) — Lemma 6's merge
+    /// equivalence for siblingless candidates.
+    type GroupKey = (ABlockId, Vec<ABlockId>);
+
+    fn merge_successors(&self, b: ABlockId) -> Vec<ABlockId> {
+        self.blocks[b].succ_cross.keys().collect()
     }
 
-    fn push(&mut self, level: usize, compound: Vec<ABlockId>) {
-        debug_assert!(compound.len() >= 2);
-        let slot = self.slots.len();
-        for &b in &compound {
-            let prev = self.member.insert(b, slot);
-            debug_assert!(prev.is_none(), "{b:?} already in a compound");
-        }
-        self.slots.push(Some((level, compound)));
-        self.by_level[level].push_back(slot);
+    fn merge_key(&self, c: ABlockId) -> (ABlockId, Vec<ABlockId>) {
+        let parent = self
+            .tree_parent(c)
+            .expect("invariant: every block above level 0 has a tree parent");
+        (parent, self.cross_parents(c).collect())
     }
 
-    /// Current work-queue size: blocks enqueued in live compounds (peak
-    /// recorded into [`UpdateStats::queue_peak`]).
-    fn work_size(&self) -> usize {
-        self.member.len()
+    fn is_live(&self, b: ABlockId) -> bool {
+        self.is_live(b)
     }
 
-    fn pop_lowest(&mut self) -> Option<(usize, Vec<ABlockId>)> {
-        for level in 0..self.by_level.len() {
-            while let Some(slot) = self.by_level[level].pop_front() {
-                if let Some((l, compound)) = self.slots[slot].take() {
-                    debug_assert_eq!(l, level);
-                    for b in &compound {
-                        self.member.remove(b);
-                    }
-                    return Some((level, compound));
-                }
-            }
+    fn merge_group(&mut self, group: &[ABlockId], stats: &mut UpdateStats) -> ABlockId {
+        let mut survivor = group[0];
+        for &b in &group[1..] {
+            survivor = self.merge_pair(survivor, b);
+            stats.merges += 1;
         }
-        None
+        survivor
     }
 
-    /// A real split of `old` produced `new` at `level`: grow `old`'s
-    /// compound or open a fresh one.
-    fn on_split(&mut self, level: usize, old: ABlockId, new: ABlockId) {
-        match self.member.get(&old) {
-            Some(&slot) => {
-                self.slots[slot]
-                    .as_mut()
-                    .expect("invariant: member lists only name occupied extent slots")
-                    .1
-                    .push(new);
-                self.member.insert(new, slot);
-            }
-            None => self.push(level, vec![old, new]),
-        }
-    }
-
-    /// `old` was wholly replaced by `new` (it is about to be released):
-    /// swap the id inside its compound, if any.
-    fn replace(&mut self, old: ABlockId, new: ABlockId) {
-        if let Some(slot) = self.member.remove(&old) {
-            let compound = &mut self.slots[slot]
-                .as_mut()
-                .expect("invariant: node_pos points at a live extent slot")
-                .1;
-            let pos = compound
-                .iter()
-                .position(|&b| b == old)
-                .expect("invariant: extent and member list stay in lockstep");
-            compound[pos] = new;
-            self.member.insert(new, slot);
-        }
+    fn requeue(&self, survivor: ABlockId) -> bool {
+        self.level(survivor) < self.k()
     }
 }
 
@@ -235,30 +216,12 @@ impl AkIndex {
         // update touches ranks j0 ..= k of the A(0)..A(k) chain.
         stats.levels_touched = self.k() - j0 + 1;
         let split_t = std::time::Instant::now();
-        let mut cq = AkCompoundQueue::new(self.k());
+        let mut cq = CompoundQueue::new(self.k() + 1);
 
-        // Initial splits: single v out of its inode at levels j0..k.
+        // Initial splits: single v out of its inode at levels j0..k, then
+        // propagate lowest-level compound first.
         self.split_levels_by(g, &[v], j0 - 1, &mut cq, &mut stats);
-        stats.queue_peak = stats.queue_peak.max(cq.work_size());
-
-        // Propagation: lowest-level compound first.
-        while let Some((level, mut compound)) = cq.pop_lowest() {
-            let (min_pos, _) = compound
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &b)| self.weight(b))
-                .expect("invariant: compound splitters contain at least one block");
-            let small = compound.swap_remove(min_pos);
-            let rest = compound;
-            if rest.len() >= 2 {
-                cq.push(level, rest.clone());
-            }
-            let splitter = self.collect_succ(g, &[small]);
-            self.split_levels_by(g, &splitter, level, &mut cq, &mut stats);
-            let splitter = self.collect_succ(g, &rest);
-            self.split_levels_by(g, &splitter, level, &mut cq, &mut stats);
-            stats.queue_peak = stats.queue_peak.max(cq.work_size());
-        }
+        kernel::process_compounds(self, g, &mut cq, &mut stats);
         stats.intermediate_blocks = self.block_count();
         stats.split_nanos = split_t.elapsed().as_nanos() as u64;
 
@@ -274,12 +237,16 @@ impl AkIndex {
     /// its marked nodes move there; a partially covered block thereby
     /// splits (compound bookkeeping via `on_split`), a fully covered one is
     /// replaced and released (`replace`).
+    ///
+    /// All per-call state lives in the index's epoch-stamped scratch
+    /// tables (keyed by block slot index), so this path performs no map
+    /// allocation and no hashing.
     fn split_levels_by(
         &mut self,
         g: &Graph,
         marked: &[NodeId],
         j: usize,
-        cq: &mut AkCompoundQueue,
+        cq: &mut CompoundQueue<ABlockId>,
         stats: &mut UpdateStats,
     ) {
         if marked.is_empty() || j >= self.k() {
@@ -287,43 +254,57 @@ impl AkIndex {
         }
         let k = self.k();
         // Pass 1: per-block marked counts at levels j+1..=k.
-        let mut counts: HashMap<ABlockId, u32> = HashMap::new();
+        self.split_counts.begin();
+        self.split_counts.ensure_len(self.blocks.capacity());
         for &w in marked {
             let chain = self.chain_of(w);
             for &b in &chain[j + 1..=k] {
-                *counts.entry(b).or_insert(0) += 1;
+                self.split_counts.update(b.raw(), |c| *c += 1);
             }
         }
-        // Freeze "fully covered" decisions before any move.
-        // xsi-lint: allow(hash-iter, set-to-set filter; membership tests only, order never escapes)
-        let full: HashSet<ABlockId> = counts
-            .iter()
-            .filter(|&(&b, &c)| c as usize == self.weight(b))
-            .map(|(&b, _)| b)
-            .collect();
-        if counts.len() == full.len() {
+        // Freeze "fully covered" decisions before any move. Scratch slots
+        // touched here always name live blocks (nothing is released until
+        // the post-pass), so `handle` cannot observe a dead slot.
+        self.split_full.begin();
+        let mut full_count = 0usize;
+        for i in 0..self.split_counts.touched_len() {
+            let idx = self.split_counts.touched()[i];
+            let c = self
+                .split_counts
+                .get(idx)
+                .expect("invariant: touched keys read back as present");
+            let b = self.handle(idx);
+            if c as usize == self.weight(b) {
+                self.split_full.set(idx, true);
+                full_count += 1;
+            }
+        }
+        if self.split_counts.touched_len() == full_count {
             // Every touched block is fully covered: the marked set is a
             // union of whole level-(j+1) subtrees, so (inductively, top
             // down) every node keeps its chain — nothing to do.
             return;
         }
 
-        // Pass 2: move every marked node onto its new chain.
-        let mut partners: HashMap<ABlockId, ABlockId> = HashMap::new();
+        // Pass 2: move every marked node onto its new chain. Partner
+        // blocks are allocated into previously-dead slots, so their
+        // indexes never collide with the live old-block keys above.
+        self.split_partner.begin();
         let mut new_chain: Vec<ABlockId> = Vec::new();
         for &w in marked {
             let old = self.chain_of(w);
             new_chain.clear();
             new_chain.extend_from_slice(&old);
             for l in j + 1..=k {
-                if full.contains(&old[l]) && new_chain[l - 1] == old[l - 1] {
+                if self.split_full.get(old[l].raw()) == Some(true) && new_chain[l - 1] == old[l - 1]
+                {
                     continue; // block follows its parent unchanged
                 }
-                let p = match partners.get(&old[l]) {
-                    Some(&p) => p,
+                let p = match self.split_partner.get(old[l].raw()) {
+                    Some(p) => p,
                     None => {
                         let p = self.new_block(l as u8, self.label(old[l]));
-                        partners.insert(old[l], p);
+                        self.split_partner.set(old[l].raw(), p);
                         p
                     }
                 };
@@ -336,11 +317,19 @@ impl AkIndex {
 
         // Post-pass: classify partner pairs, then release dead originals
         // deepest-first so children are gone before their parents. Sort
-        // the partner map first: the loop feeds `cq.replace`/`cq.on_split`
-        // and the split counter, so its order must not depend on hash
-        // state (the PR 2 `SimpleAkIndex` bug class).
+        // the pairs first: the loop feeds `cq.replace`/`cq.on_split` and
+        // the split counter, so its order must not depend on discovery
+        // order (the PR 2 `SimpleAkIndex` bug class).
         let mut pairs: Vec<(ABlockId, ABlockId)> =
-            partners.iter().map(|(&old, &p)| (old, p)).collect();
+            Vec::with_capacity(self.split_partner.touched_len());
+        for i in 0..self.split_partner.touched_len() {
+            let idx = self.split_partner.touched()[i];
+            let partner = self
+                .split_partner
+                .get(idx)
+                .expect("invariant: touched keys read back as present");
+            pairs.push((self.handle(idx), partner));
+        }
         pairs.sort_unstable();
         let mut dying: Vec<ABlockId> = Vec::new();
         for (old, partner) in pairs {
@@ -365,18 +354,17 @@ impl AkIndex {
     }
 
     pub(crate) fn unlink_child(&mut self, parent: ABlockId, child: ABlockId) {
-        self.blocks[parent.index()].tree_children.remove(&child);
-        self.blocks[child.index()].tree_parent = ABlockId::INVALID;
+        self.blocks[parent].tree_children.remove(&child);
+        self.blocks[child].tree_parent = ABlockId::INVALID;
     }
 
     /// The merge phase of Figure 7: for each affected level ascending, try
-    /// the sibling merge for `I⁽ʲ⁾[v]`, then drain the merge queue lowest
-    /// level first, grouping cross-successors by (tree parent, A(level−1)
-    /// parents).
+    /// the sibling merge for `I⁽ʲ⁾[v]`, then fold merges among the
+    /// cross-successors of each freshly merged block (lowest level first —
+    /// a level-`l` merge only enqueues level-`l+1` blocks, so the kernel's
+    /// FIFO order is level-ascending).
     fn merge_phase(&mut self, v: NodeId, j0: usize, stats: &mut UpdateStats) {
         let k = self.k();
-        let mut queue: VecDeque<ABlockId> = VecDeque::new();
-        let mut queued: HashSet<ABlockId> = HashSet::new();
         for j in j0..=k {
             let bv = self.block_of_at(v, j);
             let parent = self
@@ -388,59 +376,9 @@ impl AkIndex {
             if let Some(s) = sibling {
                 let merged = self.merge_pair(s, bv);
                 stats.merges += 1;
-                if self.level(merged) < k && queued.insert(merged) {
-                    queue.push_back(merged);
+                if self.level(merged) < k {
+                    kernel::merge_fold(self, merged, stats);
                 }
-            }
-            // Drain (lowest levels were seeded first, and merges at level
-            // l only enqueue blocks at level l+1, so FIFO order is
-            // level-ascending).
-            while let Some(i) = queue.pop_front() {
-                queued.remove(&i);
-                if !self.is_live(i) {
-                    continue;
-                }
-                self.merge_among_successors(i, k, &mut queue, &mut queued, stats);
-            }
-        }
-    }
-
-    /// Groups the cross-successors of `i` (level+1 blocks receiving dedges
-    /// from `i`) by (tree parent, cross-parent set) and merges each group.
-    fn merge_among_successors(
-        &mut self,
-        i: ABlockId,
-        k: usize,
-        queue: &mut VecDeque<ABlockId>,
-        queued: &mut HashSet<ABlockId>,
-        stats: &mut UpdateStats,
-    ) {
-        let kids: Vec<ABlockId> = self.blocks[i.index()].succ_cross.keys().copied().collect();
-        let mut groups: HashMap<(ABlockId, Vec<ABlockId>), Vec<ABlockId>> = HashMap::new();
-        for c in kids {
-            let mut parents: Vec<ABlockId> = self.cross_parents(c).collect();
-            parents.sort_unstable();
-            let parent = self
-                .tree_parent(c)
-                .expect("invariant: every block above level 0 has a tree parent");
-            groups.entry((parent, parents)).or_default().push(c);
-        }
-        // Drain the hash-keyed grouping in sorted key order so merge
-        // order (and therefore surviving block IDs) is deterministic.
-        let mut grouped: Vec<_> = groups.into_iter().collect();
-        grouped.sort_unstable();
-        for (_, mut group) in grouped {
-            if group.len() < 2 {
-                continue;
-            }
-            group.sort_unstable();
-            let mut survivor = group[0];
-            for &b in &group[1..] {
-                survivor = self.merge_pair(survivor, b);
-                stats.merges += 1;
-            }
-            if self.level(survivor) < k && queued.insert(survivor) {
-                queue.push_back(survivor);
             }
         }
     }
@@ -469,11 +407,11 @@ impl AkIndex {
             Some(b) => b,
             None => self.new_block(0, label),
         };
-        self.blocks[parent.index()].weight += 1;
+        self.blocks[parent].weight += 1;
         for level in 1..=k {
             let next = self
                 .tree_children(parent)
-                .find(|&c| self.blocks[c.index()].pred_cross.is_empty());
+                .find(|&c| self.blocks[c].pred_cross.is_empty());
             let b = match next {
                 Some(b) => b,
                 None => {
@@ -482,12 +420,12 @@ impl AkIndex {
                     b
                 }
             };
-            self.blocks[b.index()].weight += 1;
+            self.blocks[b].weight += 1;
             parent = b;
         }
         self.node_block[n.index()] = parent;
-        self.node_pos[n.index()] = self.blocks[parent.index()].extent.len() as u32;
-        self.blocks[parent.index()].extent.push(n);
+        self.node_pos[n.index()] = self.blocks[parent].extent.len() as u32;
+        self.blocks[parent].extent.push(n);
     }
 
     /// Unregisters a node about to be removed (must be edge-free; call
@@ -499,15 +437,15 @@ impl AkIndex {
         let k = self.k();
         // Extent removal at level k.
         let pos = self.node_pos[n.index()] as usize;
-        let extent = &mut self.blocks[chain[k].index()].extent;
+        let extent = &mut self.blocks[chain[k]].extent;
         extent.swap_remove(pos);
         if let Some(&moved) = extent.get(pos) {
             self.node_pos[moved.index()] = pos as u32;
         }
         self.node_block[n.index()] = ABlockId::INVALID;
         for l in (0..=k).rev() {
-            self.blocks[chain[l].index()].weight -= 1;
-            if self.blocks[chain[l].index()].weight == 0 {
+            self.blocks[chain[l]].weight -= 1;
+            if self.blocks[chain[l]].weight == 0 {
                 if let Some(parent) = self.tree_parent(chain[l]) {
                     self.unlink_child(parent, chain[l]);
                 }
@@ -545,7 +483,7 @@ mod tests {
         }
     }
 
-    fn chain_graph() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn chain_graph() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         // Deep chains so higher k's differ: two C-D-E tails whose context
         // differs only near the root.
         GraphBuilder::new()

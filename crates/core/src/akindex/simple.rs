@@ -377,7 +377,7 @@ mod tests {
     use crate::reference;
     use xsi_graph::GraphBuilder;
 
-    fn graph() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn graph() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "A"), (2, "B"), (3, "C"), (4, "B"), (5, "C"), (6, "C")])
             .edges(&[(1, 2), (2, 3), (4, 5), (1, 6)])

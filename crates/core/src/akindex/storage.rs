@@ -89,7 +89,7 @@ impl AkIndex {
 
     /// Number of distinct `E_level` inter-iedges out of `b`.
     pub(crate) fn cross_successor_count(&self, b: super::ABlockId) -> usize {
-        self.blocks[b.index()].succ_cross.len()
+        self.blocks[b].succ_cross.len()
     }
 }
 

@@ -101,7 +101,7 @@ mod tests {
         assert_eq!(idx.canonical(), AkIndex::build(g, idx.k()).canonical());
     }
 
-    fn host() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn host() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[
                 (1, "site"),

@@ -417,7 +417,7 @@ mod tests {
     use crate::check::is_minimal_1index;
     use xsi_graph::GraphBuilder;
 
-    fn host() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn host() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "site"), (2, "person"), (3, "auction")])
             .edges(&[(1, 2), (1, 3)])

@@ -21,7 +21,7 @@ fn assignment(g: &Graph, p: &Partition) -> Vec<u32> {
     let mut a = vec![u32::MAX; g.capacity()];
     for b in p.blocks() {
         for &n in p.extent(b) {
-            a[n.index()] = b.0;
+            a[n.index()] = b.raw();
         }
     }
     a
@@ -65,7 +65,7 @@ pub fn validity_violation(g: &Graph, p: &Partition) -> Option<String> {
         }
         // xsi-lint: allow(hash-iter, stability oracle: every class is checked, pass/fail is order-free)
         for (&b, &c) in &counts {
-            let size = p.size(crate::partition::BlockId(b));
+            let size = p.size(p.handle(b));
             if c < size {
                 return Some(format!(
                     "block B{b} unstable wrt {j:?}: {c} of {size} nodes in Succ"
@@ -92,7 +92,7 @@ pub fn minimality_violation(g: &Graph, p: &Partition) -> Option<String> {
     let assign = assignment(g, p);
     let mut parent_sets: HashMap<u32, HashSet<u32>> = HashMap::new();
     for b in p.blocks() {
-        parent_sets.entry(b.0).or_default();
+        parent_sets.entry(b.raw()).or_default();
     }
     for u in g.nodes() {
         for v in g.succ(u) {
@@ -104,7 +104,7 @@ pub fn minimality_violation(g: &Graph, p: &Partition) -> Option<String> {
     }
     let mut seen: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
     for b in p.blocks() {
-        let mut ps: Vec<u32> = parent_sets[&b.0].iter().copied().collect();
+        let mut ps: Vec<u32> = parent_sets[&b.raw()].iter().copied().collect();
         ps.sort_unstable();
         let key = (p.label(b).index() as u32, ps);
         if let Some(&other) = seen.get(&key) {
@@ -112,7 +112,7 @@ pub fn minimality_violation(g: &Graph, p: &Partition) -> Option<String> {
                 "blocks B{other} and {b:?} share label and parent set — mergeable"
             ));
         }
-        seen.insert(key, b.0);
+        seen.insert(key, b.raw());
     }
     None
 }
@@ -215,7 +215,7 @@ mod tests {
 
     /// Figure 4(a): root -> a1, a2 where a1 -> b1 -> a1 back-cycle and
     /// a2 -> b2 -> a2 back-cycle (two parallel 2-cycles).
-    fn figure4_graph() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn figure4_graph() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "A"), (2, "B"), (3, "A"), (4, "B")])
             .edges(&[(1, 2), (3, 4)])

@@ -320,6 +320,33 @@ impl UpdateEngine {
         Ok(result)
     }
 
+    /// Publishes one `store-report` event per registered index that
+    /// keeps dense iedge maps ([`StructuralIndex::store_report`]):
+    /// inline vs spilled map populations, cumulative spill events, and
+    /// probe lengths land in the metrics registry as `store_*` gauges
+    /// plus the `store_probe_len` histogram. On-demand rather than
+    /// per-op — the report walks every live block, so callers (bench
+    /// drivers, exporters) sample it at export points. A no-op while
+    /// the obs hub is inactive.
+    pub fn publish_store_reports(&mut self) {
+        if !self.obs.is_active() {
+            return;
+        }
+        for e in &self.entries {
+            if let Some(r) = e.index.store_report() {
+                self.obs.emit(EventPayload::StoreReport {
+                    family: e.family,
+                    inline_maps: clamp32(r.inline_maps as usize),
+                    spilled_maps: clamp32(r.spilled_maps as usize),
+                    spill_events: clamp32(r.spill_events as usize),
+                    entries: clamp32(r.entries as usize),
+                    max_entries: clamp32(r.max_entries as usize),
+                    probe_total: r.probe_total,
+                });
+            }
+        }
+    }
+
     /// Consistency check of every registered index against the graph.
     pub fn check(&self) -> Result<(), String> {
         for e in &self.entries {
@@ -439,7 +466,7 @@ mod tests {
     use crate::{AkIndex, OneIndex, SimpleAkIndex};
     use xsi_graph::GraphBuilder;
 
-    fn host() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn host() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "site"), (2, "person"), (3, "person"), (4, "auction")])
             .edges(&[(1, 2), (1, 3), (1, 4)])
@@ -551,6 +578,45 @@ mod tests {
             "policy failed to bound drift: {size} vs minimum {minimum}"
         );
         engine.check().unwrap();
+    }
+
+    #[test]
+    fn store_reports_land_in_metrics() {
+        use crate::obs::event::IndexFamily;
+        use crate::obs::MetricKey;
+        let (g, ids) = host();
+        let mut engine = UpdateEngine::new(g);
+        engine.obs_mut().enable_metrics();
+        let _h_one = engine.register(Box::new(OneIndex::build(engine.graph())));
+        let _h_sim = engine.register(Box::new(SimpleAkIndex::build(engine.graph(), 2)));
+        engine.delete_edge(ids[&4], ids[&2]).unwrap();
+        engine.publish_store_reports();
+        let m = engine.obs().metrics().unwrap();
+        // The 1-index (family 0) keeps iedge maps and reports them.
+        let one = IndexFamily(0);
+        let inline = m
+            .gauge_value(&MetricKey::named("store_inline_maps").family(one))
+            .expect("1-index publishes a store report");
+        assert!(inline > 0.0, "a tiny graph's maps are all inline");
+        assert_eq!(
+            m.gauge_value(&MetricKey::named("store_spilled_maps").family(one)),
+            Some(0.0)
+        );
+        let probe = m
+            .histogram(&MetricKey::named("store_probe_len").family(one))
+            .expect("probe-length histogram recorded");
+        assert_eq!(probe.count, 1);
+        // The simple baseline keeps no iedge maps: no series for family 1.
+        let sim = IndexFamily(1);
+        assert_eq!(
+            m.gauge_value(&MetricKey::named("store_inline_maps").family(sim)),
+            None
+        );
+        // Publishing with the hub inactive is a no-op.
+        let mut silent = UpdateEngine::new(host().0);
+        silent.register(Box::new(OneIndex::build(silent.graph())));
+        silent.publish_store_reports();
+        assert_eq!(silent.obs().events_emitted(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::check;
 use crate::oneindex::OneIndex;
 use crate::rebuild::reconstruct_1index;
 use crate::stats::UpdateStats;
+use crate::store::StoreReport;
 use xsi_graph::{Graph, NodeId};
 
 /// A structural index over a [`Graph`] it does not own, maintainable
@@ -83,6 +84,14 @@ pub trait StructuralIndex {
         None
     }
 
+    /// A point-in-time summary of the index's dense-store iedge maps
+    /// (inline vs spilled population, cumulative spill events, probe
+    /// lengths — see [`StoreReport`]), or `None` for families that keep
+    /// no iedge maps. Cheap: one pass over the block table.
+    fn store_report(&self) -> Option<StoreReport> {
+        None
+    }
+
     /// Escape hatch to the concrete type (for tests and tools that need
     /// family-specific APIs on an index registered as a trait object).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -99,8 +108,9 @@ pub trait IndexQueryView {
     fn isucc(&self, b: u32) -> Vec<u32>;
     /// The label name shared by the block's extent.
     fn label_name(&self, b: u32) -> &str;
-    /// The block's extent of dnodes.
-    fn extent(&self, b: u32) -> Vec<NodeId>;
+    /// The block's extent of dnodes, borrowed from the index — extent
+    /// iteration over matched blocks allocates nothing.
+    fn extent(&self, b: u32) -> &[NodeId];
     /// Maximum predicate-free path length the index answers *exactly*;
     /// `None` means unbounded (the 1-index). Longer paths are safe
     /// over-approximations that need validation.
@@ -161,6 +171,10 @@ impl StructuralIndex for OneIndex {
     fn query_view<'a>(&'a self, g: &'a Graph) -> Option<Box<dyn IndexQueryView + 'a>> {
         Some(Box::new(OneIndexView { idx: self, g }))
     }
+
+    fn store_report(&self) -> Option<StoreReport> {
+        Some(self.partition().store_report())
+    }
 }
 
 struct OneIndexView<'a> {
@@ -170,24 +184,23 @@ struct OneIndexView<'a> {
 
 impl IndexQueryView for OneIndexView<'_> {
     fn start_block(&self) -> u32 {
-        self.idx.block_of(self.g.root()).0
+        self.idx.block_of(self.g.root()).raw()
     }
 
     fn isucc(&self, b: u32) -> Vec<u32> {
-        self.idx
-            .isucc(crate::partition::BlockId(b))
-            .map(|c| c.0)
-            .collect()
+        // Raw view ids are slot indexes; reconstruct the live
+        // generation-checked handle before touching the partition.
+        let b = self.idx.partition().handle(b);
+        self.idx.isucc(b).map(|c| c.raw()).collect()
     }
 
     fn label_name(&self, b: u32) -> &str {
-        self.g
-            .labels()
-            .name(self.idx.label(crate::partition::BlockId(b)))
+        let b = self.idx.partition().handle(b);
+        self.g.labels().name(self.idx.label(b))
     }
 
-    fn extent(&self, b: u32) -> Vec<NodeId> {
-        self.idx.extent(crate::partition::BlockId(b)).to_vec()
+    fn extent(&self, b: u32) -> &[NodeId] {
+        self.idx.extent(self.idx.partition().handle(b))
     }
 
     fn precise_up_to(&self) -> Option<usize> {
@@ -270,6 +283,10 @@ impl StructuralIndex for PropagateOneIndex {
     fn query_view<'a>(&'a self, g: &'a Graph) -> Option<Box<dyn IndexQueryView + 'a>> {
         Some(Box::new(OneIndexView { idx: &self.0, g }))
     }
+
+    fn store_report(&self) -> Option<StoreReport> {
+        Some(self.0.partition().store_report())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +342,10 @@ impl StructuralIndex for AkIndex {
     fn query_view<'a>(&'a self, g: &'a Graph) -> Option<Box<dyn IndexQueryView + 'a>> {
         Some(Box::new(AkIndexView { idx: self, g }))
     }
+
+    fn store_report(&self) -> Option<StoreReport> {
+        Some(AkIndex::store_report(self))
+    }
 }
 
 struct AkIndexView<'a> {
@@ -334,24 +355,22 @@ struct AkIndexView<'a> {
 
 impl IndexQueryView for AkIndexView<'_> {
     fn start_block(&self) -> u32 {
-        self.idx.block_of(self.g.root()).0
+        self.idx.block_of(self.g.root()).raw()
     }
 
     fn isucc(&self, b: u32) -> Vec<u32> {
         self.idx
-            .isucc(crate::akindex::ABlockId(b))
-            .map(|c| c.0)
+            .isucc(self.idx.handle(b))
+            .map(|c| c.raw())
             .collect()
     }
 
     fn label_name(&self, b: u32) -> &str {
-        self.g
-            .labels()
-            .name(self.idx.label(crate::akindex::ABlockId(b)))
+        self.g.labels().name(self.idx.label(self.idx.handle(b)))
     }
 
-    fn extent(&self, b: u32) -> Vec<NodeId> {
-        self.idx.extent(crate::akindex::ABlockId(b)).to_vec()
+    fn extent(&self, b: u32) -> &[NodeId] {
+        self.idx.extent(self.idx.handle(b))
     }
 
     fn precise_up_to(&self) -> Option<usize> {

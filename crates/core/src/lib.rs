@@ -70,6 +70,7 @@ pub mod batch;
 pub mod check;
 pub mod engine;
 pub mod index;
+pub mod kernel;
 pub mod obs;
 pub mod oneindex;
 pub mod partition;
@@ -77,6 +78,7 @@ pub mod rebuild;
 pub mod reference;
 pub mod snapshot;
 pub mod stats;
+pub mod store;
 
 pub use akindex::{AkIndex, SimpleAkIndex};
 pub use batch::{

@@ -75,6 +75,11 @@ pub mod callsite {
         id: 8,
         name: "oracle-check",
     };
+    /// One index published a dense-store representation report.
+    pub const STORE_REPORT: CallsiteId = CallsiteId {
+        id: 9,
+        name: "store-report",
+    };
 }
 
 /// Compact handle to a registered index family (slot order of
@@ -223,6 +228,26 @@ pub enum EventPayload {
         /// Whether a check failed (the run is being convicted).
         failed: bool,
     },
+    /// A point-in-time [`crate::store::StoreReport`] snapshot of one
+    /// index's iedge-map representation state (emitted on demand by
+    /// [`crate::engine::UpdateEngine::publish_store_reports`]).
+    StoreReport {
+        /// Which registered index.
+        family: IndexFamily,
+        /// Live maps currently in the inline representation.
+        inline_maps: u32,
+        /// Live maps currently spilled to the sorted-map representation.
+        spilled_maps: u32,
+        /// Cumulative inline→spilled transitions since construction.
+        spill_events: u32,
+        /// Total (block, neighbor) entries across live maps.
+        entries: u32,
+        /// Largest live map.
+        max_entries: u32,
+        /// Sum of worst-case per-lookup comparison counts over live maps;
+        /// divide by `inline_maps + spilled_maps` for a mean probe length.
+        probe_total: u64,
+    },
 }
 
 impl EventPayload {
@@ -237,6 +262,7 @@ impl EventPayload {
             EventPayload::RebuildTriggered { .. } => callsite::REBUILD,
             EventPayload::BatchSegment { .. } => callsite::BATCH_SEGMENT,
             EventPayload::OracleCheck { .. } => callsite::ORACLE_CHECK,
+            EventPayload::StoreReport { .. } => callsite::STORE_REPORT,
         }
     }
 }
@@ -345,6 +371,23 @@ impl Event {
                 field_num(&mut out, "checks", checks.into());
                 field_bool(&mut out, "failed", failed);
             }
+            EventPayload::StoreReport {
+                family,
+                inline_maps,
+                spilled_maps,
+                spill_events,
+                entries,
+                max_entries,
+                probe_total,
+            } => {
+                field_str(&mut out, "family", &family_name(family));
+                field_num(&mut out, "inline_maps", inline_maps.into());
+                field_num(&mut out, "spilled_maps", spilled_maps.into());
+                field_num(&mut out, "spill_events", spill_events.into());
+                field_num(&mut out, "entries", entries.into());
+                field_num(&mut out, "max_entries", max_entries.into());
+                field_num(&mut out, "probe_total", probe_total);
+            }
         }
         out.push('}');
         out
@@ -423,6 +466,22 @@ impl Event {
             EventPayload::OracleCheck { checks, failed } => {
                 s.push_str(&format!(" checks={checks} failed={failed}"));
             }
+            EventPayload::StoreReport {
+                family,
+                inline_maps,
+                spilled_maps,
+                spill_events,
+                entries,
+                max_entries,
+                probe_total,
+            } => {
+                s.push_str(&format!(
+                    " family={} inline={inline_maps} spilled={spilled_maps} \
+                     spill_events={spill_events} entries={entries} \
+                     max_entries={max_entries} probe_total={probe_total}",
+                    family_name(family)
+                ));
+            }
         }
         s
     }
@@ -452,6 +511,7 @@ mod tests {
             callsite::REBUILD,
             callsite::BATCH_SEGMENT,
             callsite::ORACLE_CHECK,
+            callsite::STORE_REPORT,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -339,6 +339,28 @@ impl MetricsRegistry {
                     self.counter_add(MetricKey::named("oracle_failures_total"), 1);
                 }
             }
+            EventPayload::StoreReport {
+                family,
+                inline_maps,
+                spilled_maps,
+                spill_events,
+                entries,
+                max_entries,
+                probe_total,
+            } => {
+                let g = |name| MetricKey::named(name).family(family);
+                self.gauge_set(g("store_inline_maps"), inline_maps.into());
+                self.gauge_set(g("store_spilled_maps"), spilled_maps.into());
+                self.gauge_set(g("store_spill_events"), spill_events.into());
+                self.gauge_set(g("store_entries"), entries.into());
+                self.gauge_set(g("store_max_entries"), max_entries.into());
+                // One histogram sample per published report: the mean
+                // worst-case probe length across the index's live maps.
+                let maps = u64::from(inline_maps) + u64::from(spilled_maps);
+                if let Some(mean) = probe_total.checked_div(maps) {
+                    self.observe(g("store_probe_len"), mean);
+                }
+            }
         }
     }
 

@@ -28,84 +28,67 @@
 //! `I[u]`; otherwise split `v` out iff the iedge survives through a
 //! sibling, and always run the merge phase from `I[v]`.
 
+use crate::kernel::{self, CompoundQueue, MergeDriver, SplitDriver};
 use crate::partition::BlockId;
 use crate::stats::UpdateStats;
-use std::collections::{HashMap, HashSet, VecDeque};
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
 
 use super::OneIndex;
 
-/// The Paige–Tarjan compound-block queue: groups of inodes that resulted
-/// from splitting what used to be a single inode, against whose union the
-/// rest of the partition is still known to be stable.
-///
-/// A block belongs to at most one compound. When a member splits, its new
-/// half joins the same compound ("replace K in 𝓙 with the inodes in 𝓚");
-/// when a block splits outside any compound, a fresh two-member compound
-/// is enqueued.
-#[derive(Default, Debug)]
-pub(crate) struct CompoundQueue {
-    slots: Vec<Option<Vec<BlockId>>>,
-    queue: VecDeque<usize>,
-    member: HashMap<BlockId, usize>,
+impl SplitDriver for OneIndex {
+    type Block = BlockId;
+
+    fn weight_of(&self, b: BlockId) -> usize {
+        self.p.size(b)
+    }
+
+    fn scan_succ(&mut self, g: &Graph, roots: &[BlockId]) -> Vec<NodeId> {
+        self.p.collect_succ(g, roots)
+    }
+
+    fn stabilize(
+        &mut self,
+        g: &Graph,
+        marked: &[NodeId],
+        _level: usize,
+        cq: &mut CompoundQueue<BlockId>,
+        stats: &mut UpdateStats,
+    ) {
+        for (old, new) in self.p.split_by_set(g, marked) {
+            stats.splits += 1;
+            cq.on_split(0, old, new);
+        }
+    }
 }
 
-impl CompoundQueue {
-    pub(crate) fn new() -> Self {
-        Self::default()
+impl MergeDriver for OneIndex {
+    type Block = BlockId;
+    /// (label, sorted index-parent set) — Lemma 3's merge equivalence.
+    type GroupKey = (u32, Vec<BlockId>);
+
+    fn merge_successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.p.children(b).map(|(c, _)| c).collect()
     }
 
-    #[cfg(test)]
-    pub(crate) fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+    fn merge_key(&self, c: BlockId) -> (u32, Vec<BlockId>) {
+        // `parents` iterates in sorted block order, so the key is
+        // canonical without a sort.
+        let parents: Vec<BlockId> = self.p.parents(c).map(|(p, _)| p).collect();
+        (self.p.label(c).index() as u32, parents)
     }
 
-    /// Current work-queue size: the number of blocks enqueued in live
-    /// compounds. The maintenance loop records its peak into
-    /// [`UpdateStats::queue_peak`] for the observability layer.
-    pub(crate) fn work_size(&self) -> usize {
-        self.member.len()
+    fn is_live(&self, b: BlockId) -> bool {
+        self.p.is_live(b)
     }
 
-    /// Enqueues a compound of (≥2) blocks.
-    pub(crate) fn push(&mut self, compound: Vec<BlockId>) {
-        debug_assert!(compound.len() >= 2);
-        let slot = self.slots.len();
-        for &b in &compound {
-            let prev = self.member.insert(b, slot);
-            debug_assert!(prev.is_none(), "block {b:?} already in a compound");
-        }
-        self.slots.push(Some(compound));
-        self.queue.push_back(slot);
+    fn merge_group(&mut self, group: &[BlockId], stats: &mut UpdateStats) -> BlockId {
+        let m = self.p.merge_group(group);
+        stats.merges += group.len() - 1;
+        m
     }
 
-    /// Dequeues the next compound, unregistering its members.
-    pub(crate) fn pop(&mut self) -> Option<Vec<BlockId>> {
-        while let Some(slot) = self.queue.pop_front() {
-            if let Some(compound) = self.slots[slot].take() {
-                for b in &compound {
-                    self.member.remove(b);
-                }
-                return Some(compound);
-            }
-        }
-        None
-    }
-
-    /// Records that `old` split, with the marked part moved into `new`:
-    /// extends `old`'s compound if it is in one, otherwise enqueues the
-    /// fresh compound `{old, new}`.
-    pub(crate) fn on_split(&mut self, old: BlockId, new: BlockId) {
-        match self.member.get(&old) {
-            Some(&slot) => {
-                self.slots[slot]
-                    .as_mut()
-                    .expect("invariant: member lists only name occupied extent slots")
-                    .push(new);
-                self.member.insert(new, slot);
-            }
-            None => self.push(vec![old, new]),
-        }
+    fn requeue(&self, _survivor: BlockId) -> bool {
+        true
     }
 }
 
@@ -256,8 +239,8 @@ impl OneIndex {
         stats
     }
 
-    /// The split phase: single `v` out of its inode and run the
-    /// compound-block propagation loop.
+    /// The split phase: single `v` out of its inode and run the shared
+    /// [`kernel::process_compounds`] propagation loop.
     pub(crate) fn split_phase(&mut self, g: &Graph, v: NodeId, stats: &mut UpdateStats) {
         let bv = self.p.block_of(v);
         if self.p.size(bv) <= 1 {
@@ -266,98 +249,22 @@ impl OneIndex {
         let nb = self.p.new_block(self.p.label(bv));
         self.p.move_node(g, v, nb);
         stats.splits += 1;
-        let mut cq = CompoundQueue::new();
-        cq.push(vec![bv, nb]);
-        stats.queue_peak = stats.queue_peak.max(cq.work_size());
-        self.process_compounds(g, &mut cq, stats);
+        let mut cq = CompoundQueue::new(1);
+        cq.push(0, vec![bv, nb]);
+        kernel::process_compounds(self, g, &mut cq, stats);
     }
 
-    /// Paige–Tarjan propagation: repeatedly extract a compound, remove a
-    /// small member `I`, re-enqueue the rest if still compound, and
-    /// stabilize the partition against `Succ(I)` and `Succ(rest)`.
-    ///
-    /// The loop invariant — every block is stable w.r.t. the *union* of
-    /// each queued compound — means blocks outside `ISucc(I)` are entirely
-    /// inside or outside both splitter sets, so the two global
-    /// `split_by_set` scans touch exactly the blocks the paper's three-way
-    /// split (K₁₁/K₁₂/K₂) does.
-    pub(crate) fn process_compounds(
-        &mut self,
-        g: &Graph,
-        cq: &mut CompoundQueue,
-        stats: &mut UpdateStats,
-    ) {
-        while let Some(mut compound) = cq.pop() {
-            // Pick I with |I| ≤ ½ Σ|J| — the smallest member qualifies.
-            let (min_pos, _) = compound
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &b)| self.p.size(b))
-                .expect("invariant: compound splitters contain at least one block");
-            let small = compound.swap_remove(min_pos);
-            let rest = compound;
-            if rest.len() >= 2 {
-                cq.push(rest.clone());
-            }
-            let splitter = self.p.collect_succ(g, &[small]);
-            for (old, new) in self.p.split_by_set(g, &splitter) {
-                stats.splits += 1;
-                cq.on_split(old, new);
-            }
-            let splitter = self.p.collect_succ(g, &rest);
-            for (old, new) in self.p.split_by_set(g, &splitter) {
-                stats.splits += 1;
-                cq.on_split(old, new);
-            }
-            stats.queue_peak = stats.queue_peak.max(cq.work_size());
-        }
-    }
-
-    /// The merge phase: try to merge `start` with a twin, then iteratively
-    /// consider the index successors of every freshly merged inode,
-    /// merging equivalence classes of (label, index-parent set).
+    /// The merge phase: try to merge `start` with a twin, then fold
+    /// merges iteratively among the index successors of every freshly
+    /// merged inode ([`kernel::merge_fold`] over the (label, index-parent
+    /// set) equivalence).
     pub(crate) fn merge_phase(&mut self, _g: &Graph, start: BlockId, stats: &mut UpdateStats) {
         let Some(partner) = self.p.find_merge_partner(start) else {
             return;
         };
         let merged = self.p.merge_group(&[start, partner]);
         stats.merges += 1;
-        let mut queue: VecDeque<BlockId> = VecDeque::new();
-        let mut queued: HashSet<BlockId> = HashSet::new();
-        queue.push_back(merged);
-        queued.insert(merged);
-        while let Some(i) = queue.pop_front() {
-            queued.remove(&i);
-            if !self.p.is_live(i) {
-                continue; // merged away after being enqueued
-            }
-            // Group ISucc(i) by (label, index parents); merge each class.
-            let kids: Vec<BlockId> = self.p.children(i).map(|(c, _)| c).collect();
-            let mut groups: HashMap<(u32, Vec<BlockId>), Vec<BlockId>> = HashMap::new();
-            for c in kids {
-                let mut parents: Vec<BlockId> = self.p.parents(c).map(|(p, _)| p).collect();
-                parents.sort_unstable();
-                groups
-                    .entry((self.p.label(c).index() as u32, parents))
-                    .or_default()
-                    .push(c);
-            }
-            // Drain the hash-keyed grouping in sorted key order so merge
-            // order (and therefore surviving block IDs) is deterministic.
-            let mut grouped: Vec<_> = groups.into_iter().collect();
-            grouped.sort_unstable();
-            for (_, mut group) in grouped {
-                if group.len() < 2 {
-                    continue;
-                }
-                group.sort_unstable();
-                let m = self.p.merge_group(&group);
-                stats.merges += group.len() - 1;
-                if queued.insert(m) {
-                    queue.push_back(m);
-                }
-            }
-        }
+        kernel::merge_fold(self, merged, stats);
     }
 }
 
@@ -548,22 +455,6 @@ mod tests {
             assert_minimal(&g, &idx);
         }
         assert_matches_reference(&g, &idx);
-    }
-
-    /// Compound-queue unit behaviour.
-    #[test]
-    fn compound_queue_replace_semantics() {
-        let mut cq = CompoundQueue::new();
-        let b = |i| BlockId(i);
-        cq.push(vec![b(1), b(2)]);
-        cq.on_split(b(1), b(3)); // 1 in a compound → same compound grows
-        cq.on_split(b(4), b(5)); // 4 not in a compound → new compound
-        let first = cq.pop().unwrap();
-        assert_eq!(first, vec![b(1), b(2), b(3)]);
-        let second = cq.pop().unwrap();
-        assert_eq!(second, vec![b(4), b(5)]);
-        assert!(cq.pop().is_none());
-        assert!(cq.is_empty());
     }
 }
 

@@ -14,9 +14,10 @@ pub mod maintain;
 pub mod propagate;
 pub mod subgraph;
 
+use crate::kernel;
 use crate::partition::{BlockId, Partition};
+use crate::stats::UpdateStats;
 use std::collections::HashMap;
-use std::collections::VecDeque;
 use xsi_graph::{Graph, Label, NodeId};
 
 /// A 1-index over a [`Graph`].
@@ -51,27 +52,20 @@ impl OneIndex {
         }
         p.rebuild_counts(g);
         let mut idx = OneIndex { p };
-        let worklist: VecDeque<BlockId> = idx.p.blocks().collect();
-        idx.refine_worklist(g, worklist);
+        let seeds: Vec<BlockId> = idx.p.blocks().collect();
+        idx.refine_blocks(g, &seeds);
         idx
     }
 
-    /// Runs the split worklist to a self-stable fixpoint. Used by `build`
-    /// over all blocks, and by subgraph addition over just the new blocks.
-    pub(crate) fn refine_worklist(&mut self, g: &Graph, mut worklist: VecDeque<BlockId>) {
-        while let Some(b) = worklist.pop_front() {
-            if !self.p.is_live(b) || self.p.size(b) == 0 {
-                continue;
-            }
-            let splitter = self.p.collect_succ(g, &[b]);
-            for (old, new) in self.p.split_by_set(g, &splitter) {
-                worklist.push_back(old);
-                worklist.push_back(new);
-                // The splitter block itself may have split: its remaining
-                // extent is re-queued by the pair above, so stability
-                // against both halves is re-established later.
-            }
-        }
+    /// Refines the partition to a self-stable fixpoint through the shared
+    /// [`kernel`]: each seed block is scanned once, and every resulting
+    /// split is propagated by compound-queue processing (both halves of a
+    /// split are rescanned). Used by `build` over all blocks, and by
+    /// subgraph addition over just the new blocks.
+    pub(crate) fn refine_blocks(&mut self, g: &Graph, seeds: &[BlockId]) {
+        let mut cq = kernel::CompoundQueue::new(1);
+        let mut stats = UpdateStats::default();
+        kernel::refine_to_fixpoint(self, g, seeds, 0, &mut cq, &mut stats);
     }
 
     /// Number of inodes.
@@ -159,7 +153,7 @@ mod tests {
     /// The Figure 2(a) data graph (without the dashed edge), reverse-
     /// engineered from the paper's narrative: index before update is
     /// {1},{2},{3,4},{5},{6,7},{8}.
-    pub(crate) fn figure2_graph() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    pub(crate) fn figure2_graph() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "A"), (2, "B"), (3, "C"), (4, "C"), (5, "C")])
             .nodes(&[(6, "D"), (7, "D"), (8, "D")])

@@ -14,7 +14,7 @@
 
 use crate::partition::BlockId;
 use crate::stats::UpdateStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use xsi_graph::{DetachedSubgraph, Graph, GraphError, Label, NodeId};
 
 use super::OneIndex;
@@ -74,7 +74,7 @@ impl OneIndex {
         // hash state for block IDs to be reproducible.
         let mut seeds: Vec<BlockId> = by_label.values().copied().collect();
         seeds.sort_unstable();
-        self.refine_worklist(g, VecDeque::from(seeds));
+        self.refine_blocks(g, &seeds);
 
         let mut stats = UpdateStats {
             no_op: false,

@@ -9,39 +9,80 @@
 //!   position table enabling O(1) swap-remove moves (the inner loop of
 //!   Paige–Tarjan refinement and of the incremental split phase);
 //! * **iedge multiplicity maps** — each block counts, per neighbor block,
-//!   the number of dedges between the extents. An iedge exists iff its
-//!   count is positive; the maps answer the two questions maintenance asks
-//!   constantly: "is there an iedge from `I[u]` to `I[v]`?" and "do these two
-//!   inodes have the same set of index parents?" (the minimality test of
-//!   Definition 5);
+//!   the number of dedges between the extents, in an adaptive
+//!   [`IedgeMap`] (inline sorted array for the common low-degree case,
+//!   sorted-map spill above the threshold — see `core::store`). An iedge
+//!   exists iff its count is positive; the maps answer the two questions
+//!   maintenance asks constantly: "is there an iedge from `I[u]` to
+//!   `I[v]`?" and "do these two inodes have the same set of index
+//!   parents?" (the minimality test of Definition 5);
 //! * **split/merge primitives** — [`Partition::split_by_set`] implements
 //!   the stabilize-against-a-splitter step (splitting *all* touched blocks
 //!   in one scan of the splitter's successor set, the implementation note
 //!   at the end of Section 5.1), and [`Partition::merge_blocks`] folds one
 //!   block into another, rewriting neighbor maps.
+//!
+//! Blocks live in a generation-checked [`SlotMap`]: recycled ids get a
+//! fresh generation, so a handle held across [`Partition::release_block`]
+//! is caught by the debug-build generation checks instead of silently
+//! aliasing the block that reused the slot.
 
-use std::collections::{HashMap, HashSet};
+use crate::store::{IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
+use std::collections::BTreeSet;
 use std::fmt;
 use xsi_graph::{Graph, Label, NodeId};
 
-/// Identifier of a block (an inode's extent). Dense, recycled after
-/// [`Partition::release_block`].
+/// Identifier of a block (an inode's extent): a dense slot index plus
+/// the generation it was minted with. Ids are recycled after
+/// [`Partition::release_block`] with a bumped generation, so stale
+/// handles never compare equal to the slot's new tenant.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct BlockId(pub u32);
+pub struct BlockId {
+    idx: u32,
+    generation: u32,
+}
 
 impl BlockId {
-    const INVALID: BlockId = BlockId(u32::MAX);
+    const INVALID: BlockId = BlockId {
+        idx: u32::MAX,
+        generation: u32::MAX,
+    };
 
     /// Dense index for array-backed side tables.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.idx as usize
+    }
+
+    /// The raw slot index, for serialization and raw-`u32` query views.
+    /// Reconstruct a live handle with [`Partition::handle`].
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.idx
+    }
+}
+
+impl Default for BlockId {
+    fn default() -> Self {
+        BlockId::INVALID
+    }
+}
+
+impl SlotKey for BlockId {
+    fn from_raw_parts(idx: u32, generation: u32) -> Self {
+        BlockId { idx, generation }
+    }
+    fn idx(self) -> u32 {
+        self.idx
+    }
+    fn gen(self) -> u32 {
+        self.generation
     }
 }
 
 impl fmt::Debug for BlockId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "B{}", self.0)
+        write!(f, "B{}", self.idx)
     }
 }
 
@@ -50,20 +91,18 @@ struct Block {
     label: Label,
     extent: Vec<NodeId>,
     /// `parents[P]` = number of dedges (u, v) with `u ∈ P`, `v ∈ self`.
-    parents: HashMap<BlockId, u32>,
+    parents: IedgeMap<BlockId>,
     /// `children[C]` = number of dedges (u, v) with `u ∈ self`, `v ∈ C`.
-    children: HashMap<BlockId, u32>,
-    alive: bool,
+    children: IedgeMap<BlockId>,
 }
 
-impl Block {
-    fn new(label: Label) -> Self {
+impl Default for Block {
+    fn default() -> Self {
         Block {
-            label,
+            label: Label::from_index(0),
             extent: Vec::new(),
-            parents: HashMap::new(),
-            children: HashMap::new(),
-            alive: false,
+            parents: IedgeMap::new(),
+            children: IedgeMap::new(),
         }
     }
 }
@@ -73,19 +112,25 @@ impl Block {
 /// splits and merges.
 #[derive(Clone, Default)]
 pub struct Partition {
-    blocks: Vec<Block>,
-    free: Vec<BlockId>,
-    live_blocks: usize,
+    blocks: SlotMap<BlockId, Block>,
     /// dnode → block, `BlockId::INVALID` when the node is not indexed.
     node_block: Vec<BlockId>,
     /// dnode → position inside its block's extent.
     node_pos: Vec<u32>,
     /// Live blocks whose parent map is empty (candidates for merging with
-    /// other parentless blocks; normally just the root block).
-    orphans: HashSet<BlockId>,
+    /// other parentless blocks; normally just the root block). Sorted, so
+    /// partner probes iterate deterministically.
+    orphans: BTreeSet<BlockId>,
     /// Scratch marks for dedup scans, versioned by epoch so clearing is O(1).
     mark: Vec<u32>,
     epoch: u32,
+    /// Per-split scratch: |K ∩ marked| by block slot index.
+    split_counts: ScratchTable<u32>,
+    /// Per-split scratch: the frozen "this block properly intersects"
+    /// decision by block slot index.
+    split_flag: ScratchTable<bool>,
+    /// Per-split scratch: partner block by split block slot index.
+    split_partner: ScratchTable<BlockId>,
 }
 
 impl Partition {
@@ -93,14 +138,15 @@ impl Partition {
     pub fn new(g: &Graph) -> Self {
         let cap = g.capacity();
         Partition {
-            blocks: Vec::new(),
-            free: Vec::new(),
-            live_blocks: 0,
+            blocks: SlotMap::new(),
             node_block: vec![BlockId::INVALID; cap],
             node_pos: vec![0; cap],
-            orphans: HashSet::new(),
+            orphans: BTreeSet::new(),
             mark: vec![0; cap],
             epoch: 0,
+            split_counts: ScratchTable::new(),
+            split_flag: ScratchTable::new(),
+            split_partner: ScratchTable::new(),
         }
     }
 
@@ -118,7 +164,7 @@ impl Partition {
     /// Number of live blocks — the paper's "number of inodes in the index".
     #[inline]
     pub fn block_count(&self) -> usize {
-        self.live_blocks
+        self.blocks.len()
     }
 
     /// Whether `n` is assigned to a block.
@@ -140,113 +186,120 @@ impl Partition {
         b
     }
 
-    /// Whether `b` refers to a live block.
+    /// Whether `b` refers to a live, current-generation block.
     #[inline]
     pub fn is_live(&self, b: BlockId) -> bool {
-        self.blocks.get(b.index()).is_some_and(|blk| blk.alive)
+        self.blocks.is_current(b)
+    }
+
+    /// The live handle for raw slot index `idx` (from a query view or a
+    /// snapshot).
+    ///
+    /// # Panics
+    /// Panics if the slot is dead or out of range.
+    #[inline]
+    pub fn handle(&self, idx: u32) -> BlockId {
+        self.blocks
+            .handle_at(idx)
+            .unwrap_or_else(|| panic!("no live block at slot {idx}"))
     }
 
     /// The extent of block `b`.
     #[inline]
     pub fn extent(&self, b: BlockId) -> &[NodeId] {
-        &self.blocks[b.index()].extent
+        &self.blocks[b].extent
     }
 
     /// `|b|`: the number of dnodes in block `b`.
     #[inline]
     pub fn size(&self, b: BlockId) -> usize {
-        self.blocks[b.index()].extent.len()
+        self.blocks[b].extent.len()
     }
 
     /// The label shared by all dnodes of block `b`.
     #[inline]
     pub fn label(&self, b: BlockId) -> Label {
-        self.blocks[b.index()].label
+        self.blocks[b].label
     }
 
-    /// Iterates over live block ids.
+    /// Iterates over live block ids in slot order.
     pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.blocks
-            .iter()
-            .enumerate()
-            .filter(|(_, blk)| blk.alive)
-            .map(|(i, _)| BlockId(i as u32))
+        self.blocks.keys()
     }
 
-    /// Index parents of `b` with dedge multiplicities, in hash order.
-    /// Callers that let the order escape (exports, traces, block
-    /// allocation) must sort.
+    /// Index parents of `b` with dedge multiplicities, in ascending
+    /// block-id order (both `IedgeMap` representations are sorted).
     pub fn parents(&self, b: BlockId) -> impl Iterator<Item = (BlockId, u32)> + '_ {
-        // xsi-lint: allow(hash-iter, accessor contract: documented unordered; ordering callers sort)
-        self.blocks[b.index()].parents.iter().map(|(&p, &c)| (p, c))
+        self.blocks[b].parents.iter()
     }
 
-    /// Index successors `ISucc(b)` with dedge multiplicities, in hash
-    /// order (see [`Partition::parents`] for the ordering contract).
+    /// Index successors `ISucc(b)` with dedge multiplicities, in
+    /// ascending block-id order.
     pub fn children(&self, b: BlockId) -> impl Iterator<Item = (BlockId, u32)> + '_ {
-        let children = &self.blocks[b.index()].children;
-        // xsi-lint: allow(hash-iter, accessor contract: documented unordered; ordering callers sort)
-        children.iter().map(|(&c, &n)| (c, n))
+        self.blocks[b].children.iter()
     }
 
     /// Number of distinct index parents of `b`.
     pub fn parent_count(&self, b: BlockId) -> usize {
-        self.blocks[b.index()].parents.len()
+        self.blocks[b].parents.len()
     }
 
     /// Number of distinct iedges out of `b`.
     pub fn child_count(&self, b: BlockId) -> usize {
-        self.blocks[b.index()].children.len()
+        self.blocks[b].children.len()
     }
 
     /// Whether the iedge `from → to` exists (≥1 supporting dedge).
     pub fn has_iedge(&self, from: BlockId, to: BlockId) -> bool {
-        self.blocks[from.index()].children.contains_key(&to)
+        self.blocks[from].children.contains_key(to)
     }
 
     /// Whether `a` and `b` have exactly the same set of index parents —
     /// together with label equality, the merge-legality test that makes an
-    /// index minimal (Definition 5 and the remark following it).
+    /// index minimal (Definition 5 and the remark following it). Both key
+    /// sequences are sorted, so this is one linear pass.
     pub fn same_parent_set(&self, a: BlockId, b: BlockId) -> bool {
-        let pa = &self.blocks[a.index()].parents;
-        let pb = &self.blocks[b.index()].parents;
-        pa.len() == pb.len() && pa.keys().all(|k| pb.contains_key(k))
+        let pa = &self.blocks[a].parents;
+        let pb = &self.blocks[b].parents;
+        pa.len() == pb.len() && pa.keys().eq(pb.keys())
     }
 
     /// Allocates a fresh, empty, live block with the given label.
+    /// Recycles released slots (with a bumped generation) and reuses
+    /// their extent/map allocations.
     pub fn new_block(&mut self, label: Label) -> BlockId {
-        self.live_blocks += 1;
-        let id = if let Some(id) = self.free.pop() {
-            self.blocks[id.index()] = Block::new(label);
-            id
-        } else {
-            let id = BlockId(
-                u32::try_from(self.blocks.len()).expect("invariant: block count fits in u32"),
-            );
-            self.blocks.push(Block::new(label));
-            id
-        };
-        self.blocks[id.index()].alive = true;
+        let (id, blk) = self.blocks.alloc();
+        blk.label = label;
+        debug_assert!(blk.extent.is_empty(), "recycled slot kept its extent");
+        // Normalize recycled maps back to the inline representation
+        // (they are empty per the release contract, but a spilled map
+        // stays spilled until cleared).
+        blk.parents.clear();
+        blk.children.clear();
         self.orphans.insert(id); // no parents yet
         id
     }
 
     /// Releases an **empty** block (no extent; neighbor maps must already
     /// be clear, which follows from emptiness when counts are consistent).
+    /// The id — every copy of it — becomes stale.
     pub fn release_block(&mut self, b: BlockId) {
-        let blk = &mut self.blocks[b.index()];
         // Hot path: debug_assert keeps the checks out of release builds;
         // the release-debug-asserts CI job still exercises them compiled in.
-        debug_assert!(blk.alive, "releasing dead block {b:?}");
-        debug_assert!(blk.extent.is_empty(), "releasing non-empty block {b:?}");
-        debug_assert!(blk.parents.is_empty(), "released block has parent iedges");
-        debug_assert!(blk.children.is_empty(), "released block has child iedges");
-        blk.alive = false;
-        blk.parents.clear();
-        blk.children.clear();
+        debug_assert!(
+            self.blocks[b].extent.is_empty(),
+            "releasing non-empty block {b:?}"
+        );
+        debug_assert!(
+            self.blocks[b].parents.is_empty(),
+            "released block has parent iedges"
+        );
+        debug_assert!(
+            self.blocks[b].children.is_empty(),
+            "released block has child iedges"
+        );
         self.orphans.remove(&b);
-        self.live_blocks -= 1;
-        self.free.push(b);
+        self.blocks.release(b);
     }
 
     /// Places an unindexed node into a block **without** touching iedge
@@ -255,8 +308,7 @@ impl Partition {
     /// (bulk construction).
     pub fn attach_node(&mut self, n: NodeId, b: BlockId) {
         debug_assert!(!self.is_indexed(n), "attach of already-indexed {n:?}");
-        let blk = &mut self.blocks[b.index()];
-        debug_assert!(blk.alive);
+        let blk = &mut self.blocks[b];
         self.node_block[n.index()] = b;
         self.node_pos[n.index()] = blk.extent.len() as u32;
         blk.extent.push(n);
@@ -274,7 +326,7 @@ impl Partition {
 
     fn remove_from_extent(&mut self, n: NodeId, b: BlockId) {
         let pos = self.node_pos[n.index()] as usize;
-        let extent = &mut self.blocks[b.index()].extent;
+        let extent = &mut self.blocks[b].extent;
         debug_assert_eq!(extent[pos], n);
         extent.swap_remove(pos);
         if let Some(&moved) = extent.get(pos) {
@@ -290,7 +342,7 @@ impl Partition {
             return;
         }
         self.remove_from_extent(n, from);
-        let blk = &mut self.blocks[to.index()];
+        let blk = &mut self.blocks[to];
         self.node_block[n.index()] = to;
         self.node_pos[n.index()] = blk.extent.len() as u32;
         blk.extent.push(n);
@@ -323,33 +375,22 @@ impl Partition {
     }
 
     fn inc_edge(&mut self, from: BlockId, to: BlockId) {
-        *self.blocks[from.index()].children.entry(to).or_insert(0) += 1;
-        let parents = &mut self.blocks[to.index()].parents;
+        self.blocks[from].children.add(to, 1);
+        let parents = &mut self.blocks[to].parents;
         if parents.is_empty() {
             self.orphans.remove(&to);
         }
-        *parents.entry(from).or_insert(0) += 1;
+        parents.add(from, 1);
     }
 
     fn dec_edge(&mut self, from: BlockId, to: BlockId) {
-        let children = &mut self.blocks[from.index()].children;
-        let c = children
-            .get_mut(&to)
-            .expect("invariant: dec_edge only removes iedges inc_edge recorded (child side)");
-        *c -= 1;
-        if *c == 0 {
-            children.remove(&to);
-        }
-        let parents = &mut self.blocks[to.index()].parents;
-        let c = parents
-            .get_mut(&from)
-            .expect("invariant: dec_edge only removes iedges inc_edge recorded (parent side)");
-        *c -= 1;
-        if *c == 0 {
-            parents.remove(&from);
-            if parents.is_empty() && self.blocks[to.index()].alive {
-                self.orphans.insert(to);
-            }
+        // `IedgeMap::sub` debug-asserts the entry exists (dec_edge only
+        // removes iedges inc_edge recorded) and drops it at zero.
+        self.blocks[from].children.sub(to, 1);
+        let parents = &mut self.blocks[to].parents;
+        parents.sub(from, 1);
+        if parents.is_empty() && self.blocks.is_current(to) {
+            self.orphans.insert(to);
         }
     }
 
@@ -361,8 +402,8 @@ impl Partition {
         let epoch = self.epoch;
         let mut out = Vec::new();
         for &b in blocks {
-            for i in 0..self.blocks[b.index()].extent.len() {
-                let u = self.blocks[b.index()].extent[i];
+            for i in 0..self.blocks[b].extent.len() {
+                let u = self.blocks[b].extent[i];
                 for v in g.succ(u) {
                     if self.mark[v.index()] != epoch {
                         self.mark[v.index()] = epoch;
@@ -382,89 +423,110 @@ impl Partition {
     /// `marked` must be duplicate-free and contain only indexed nodes.
     /// Returns the `(remainder, intersection)` block-id pairs of every
     /// block actually split. Cost: two scans of `marked` plus O(deg) per
-    /// moved node — independent of the number of untouched blocks.
+    /// moved node — independent of the number of untouched blocks, with
+    /// no per-call allocation (epoch-stamped scratch tables).
     pub fn split_by_set(&mut self, g: &Graph, marked: &[NodeId]) -> Vec<(BlockId, BlockId)> {
         // Pass 1: count |K ∩ marked| per touched block and freeze the
         // decision against the block's *current* size (moves in pass 2
         // shrink extents, so deciding lazily would mis-detect full blocks).
-        let mut counts: HashMap<BlockId, u32> = HashMap::new();
+        self.split_counts.begin();
         for &w in marked {
-            *counts.entry(self.block_of(w)).or_insert(0) += 1;
+            let b = self.block_of(w);
+            self.split_counts.update(b.idx(), |c| *c += 1);
         }
-        // xsi-lint: allow(hash-iter, set-to-set filter; membership tests only, order never escapes)
-        let splitting: HashSet<BlockId> = counts
-            .iter()
-            .filter(|&(&b, &c)| (c as usize) < self.size(b))
-            .map(|(&b, _)| b)
-            .collect();
-        if splitting.is_empty() {
+        self.split_flag.begin();
+        let mut any = false;
+        for ti in 0..self.split_counts.touched_len() {
+            let idx = self.split_counts.touched()[ti];
+            let b = self.handle(idx);
+            let c = self.split_counts.get(idx).unwrap_or(0);
+            if (c as usize) < self.size(b) {
+                self.split_flag.set(idx, true);
+                any = true;
+            }
+        }
+        if !any {
             return Vec::new();
         }
         // Pass 2: move marked nodes of properly-intersected blocks into
-        // fresh partner blocks.
-        let mut partners: HashMap<BlockId, BlockId> = HashMap::new();
+        // fresh partner blocks. Partner slots can only come from dead
+        // slots (never touched above) or fresh ones, so the scratch
+        // tables cannot confuse a partner with a splitting block.
+        self.split_partner.begin();
+        let mut pairs: Vec<(BlockId, BlockId)> = Vec::new();
         for &w in marked {
             // `w` has not moved yet (each marked node is visited once), so
             // `block_of` still names its original block.
             let b = self.block_of(w);
-            if !splitting.contains(&b) {
+            if self.split_flag.get(b.idx()) != Some(true) {
                 continue;
             }
-            let partner = match partners.get(&b) {
-                Some(&p) => p,
+            let partner = match self.split_partner.get(b.idx()) {
+                Some(p) => p,
                 None => {
                     let p = self.new_block(self.label(b));
-                    partners.insert(b, p);
+                    self.split_partner.set(b.idx(), p);
+                    pairs.push((b, p));
                     p
                 }
             };
             self.move_node(g, w, partner);
         }
         // Return the split pairs in sorted order: callers feed them into
-        // counter-queues and traces, so the order must not leak hash state.
-        let mut pairs: Vec<(BlockId, BlockId)> = partners.into_iter().collect();
+        // counter-queues and traces, so the order must stay canonical
+        // regardless of the order `marked` visits blocks.
         pairs.sort_unstable();
         pairs
     }
 
     /// Merges block `src` into block `dst` (Definition 5's merge
     /// operation): extents are concatenated and all iedge counts are
-    /// re-keyed from `src` to `dst`. `src` is released.
+    /// re-keyed from `src` to `dst`. `src` is released (its id goes
+    /// stale).
     ///
     /// Cost: O(|src extent| + iedges incident to src). Callers should pass
     /// the smaller block as `src`.
     pub fn merge_blocks(&mut self, dst: BlockId, src: BlockId) {
-        // A self-merge would silently destroy the extent via the take()
+        // A self-merge would silently destroy the extent via the drain
         // below, so this guard must survive into release builds.
         // xsi-lint: allow(hot-assert, self-merge corrupts the extent irrecoverably; cost is one compare per merge)
         assert_ne!(dst, src, "merging a block with itself");
         debug_assert_eq!(self.label(dst), self.label(src), "label mismatch in merge");
         // Extent transfer.
-        let src_extent = std::mem::take(&mut self.blocks[src.index()].extent);
+        let src_extent = std::mem::take(&mut self.blocks[src].extent);
         for &n in &src_extent {
-            let blk = &mut self.blocks[dst.index()];
+            let blk = &mut self.blocks[dst];
             self.node_block[n.index()] = dst;
             self.node_pos[n.index()] = blk.extent.len() as u32;
             blk.extent.push(n);
         }
-        // Count transfer. Pull src's maps out, remove the src↔src self
-        // entry (it appears in both maps but describes the same dedges),
-        // then replay every count onto dst with src re-keyed to dst.
-        let mut src_parents = std::mem::take(&mut self.blocks[src.index()].parents);
-        let mut src_children = std::mem::take(&mut self.blocks[src.index()].children);
-        let self_cnt = src_parents.remove(&src).unwrap_or(0);
-        let self_cnt2 = src_children.remove(&src).unwrap_or(0);
+        // Reuse the drained Vec's allocation for src's next life.
+        let mut recycled = src_extent;
+        recycled.clear();
+        self.blocks[src].extent = recycled;
+        // Count transfer. Drain src's maps (sorted, keeping their spill
+        // history in the slot), remove the src↔src self entry (it appears
+        // in both maps but describes the same dedges), then replay every
+        // count onto dst with src re-keyed to dst.
+        let mut src_parents = self.blocks[src].parents.drain_sorted();
+        let mut src_children = self.blocks[src].children.drain_sorted();
+        let self_cnt = src_parents
+            .iter()
+            .position(|&(p, _)| p == src)
+            .map(|i| src_parents.remove(i).1)
+            .unwrap_or(0);
+        let self_cnt2 = src_children
+            .iter()
+            .position(|&(c, _)| c == src)
+            .map(|i| src_children.remove(i).1)
+            .unwrap_or(0);
         debug_assert_eq!(self_cnt, self_cnt2, "src self-iedge maps disagree");
         // Drop src from every neighbor's map (re-added under dst below).
-        for &p in src_parents.keys() {
-            if p != src {
-                self.blocks[p.index()].children.remove(&src);
-            }
+        for &(p, _) in &src_parents {
+            self.blocks[p].children.remove(src);
         }
-        for &c in src_children.keys() {
-            if c != src {
-                self.blocks[c.index()].parents.remove(&src);
-            }
+        for &(c, _) in &src_children {
+            self.blocks[c].parents.remove(src);
         }
         for (p, cnt) in src_parents {
             let p = if p == src { dst } else { p };
@@ -479,7 +541,7 @@ impl Partition {
         }
         // Neighbors whose parent map temporarily lost src still have dst,
         // so orphan status can only change for dst itself.
-        if self.blocks[dst.index()].parents.is_empty() {
+        if self.blocks[dst].parents.is_empty() {
             self.orphans.insert(dst);
         } else {
             self.orphans.remove(&dst);
@@ -491,12 +553,12 @@ impl Partition {
         if cnt == 0 {
             return;
         }
-        *self.blocks[from.index()].children.entry(to).or_insert(0) += cnt;
-        let parents = &mut self.blocks[to.index()].parents;
+        self.blocks[from].children.add(to, cnt);
+        let parents = &mut self.blocks[to].parents;
         if parents.is_empty() {
             self.orphans.remove(&to);
         }
-        *parents.entry(from).or_insert(0) += cnt;
+        parents.add(from, cnt);
     }
 
     /// Merges every block of `group` into its largest member, returning the
@@ -521,17 +583,16 @@ impl Partition {
     /// parent), or other orphan blocks when `b` has no parents.
     pub fn find_merge_partner(&self, b: BlockId) -> Option<BlockId> {
         let label = self.label(b);
-        let blk = &self.blocks[b.index()];
+        let blk = &self.blocks[b];
         // Any index parent works as the sibling anchor (all legal partners
         // share *every* parent of `b`), but both the anchor and the partner
         // are chosen by `min` so the merge twin — and hence the surviving
-        // block id — never depends on hash iteration order.
-        let anchor = blk.parents.keys().copied().min();
+        // block id — is canonical.
+        let anchor = blk.parents.keys().min();
         if let Some(p) = anchor {
-            self.blocks[p.index()]
+            self.blocks[p]
                 .children
                 .keys()
-                .copied()
                 .filter(|&cand| {
                     cand != b
                         && self.is_live(cand)
@@ -551,14 +612,13 @@ impl Partition {
     /// Recomputes every iedge count from the graph. Used after bulk
     /// [`Partition::attach_node`] loops during construction.
     pub fn rebuild_counts(&mut self, g: &Graph) {
-        for blk in &mut self.blocks {
-            blk.parents.clear();
-            blk.children.clear();
+        let live: Vec<BlockId> = self.blocks().collect();
+        for &b in &live {
+            self.blocks[b].parents.clear();
+            self.blocks[b].children.clear();
         }
         self.orphans.clear();
-        for b in self.blocks().collect::<Vec<_>>() {
-            self.orphans.insert(b);
-        }
+        self.orphans.extend(live);
         for u in g.nodes() {
             if !self.is_indexed(u) {
                 continue;
@@ -569,6 +629,22 @@ impl Partition {
                 }
             }
         }
+    }
+
+    /// A point-in-time summary of iedge-map representation state across
+    /// live blocks (plus spill history retained in recycled slots), for
+    /// the obs layer. One pass over the block table.
+    pub fn store_report(&self) -> StoreReport {
+        let mut r = StoreReport::default();
+        for (_, blk) in self.blocks.iter() {
+            r.absorb(&blk.parents);
+            r.absorb(&blk.children);
+            r.blocks += 1;
+        }
+        for blk in self.blocks.iter_all_slots() {
+            r.spill_events += blk.parents.spill_count() as u64 + blk.children.spill_count() as u64;
+        }
+        r
     }
 
     /// The partition as a canonical sorted list of sorted extents — the
@@ -593,11 +669,7 @@ impl Partition {
     pub fn check_consistency(&self, g: &Graph) -> Result<(), String> {
         let mut seen_nodes = 0usize;
         let mut live = 0usize;
-        for (i, blk) in self.blocks.iter().enumerate() {
-            let b = BlockId(i as u32);
-            if !blk.alive {
-                continue;
-            }
+        for (b, blk) in self.blocks.iter() {
             live += 1;
             if blk.extent.is_empty() {
                 return Err(format!("live block {b:?} has empty extent"));
@@ -620,10 +692,10 @@ impl Partition {
                 return Err(format!("orphan set wrong for {b:?}"));
             }
         }
-        if live != self.live_blocks {
+        if live != self.blocks.len() {
             return Err(format!(
                 "live block counter {} != actual {live}",
-                self.live_blocks
+                self.blocks.len()
             ));
         }
         let indexed = g.nodes().filter(|&n| self.is_indexed(n)).count();
@@ -633,7 +705,8 @@ impl Partition {
             ));
         }
         // Recount iedges.
-        let mut recount: HashMap<(BlockId, BlockId), u32> = HashMap::new();
+        let mut recount: std::collections::BTreeMap<(BlockId, BlockId), u32> =
+            std::collections::BTreeMap::new();
         for u in g.nodes() {
             if !self.is_indexed(u) {
                 continue;
@@ -647,13 +720,8 @@ impl Partition {
             }
         }
         let mut stored = 0usize;
-        for (i, blk) in self.blocks.iter().enumerate() {
-            if !blk.alive {
-                continue;
-            }
-            let b = BlockId(i as u32);
-            // xsi-lint: allow(hash-iter, consistency check: every edge is verified, pass/fail is order-free)
-            for (&c, &cnt) in &blk.children {
+        for (b, blk) in self.blocks.iter() {
+            for (c, cnt) in blk.children.iter() {
                 if recount.get(&(b, c)) != Some(&cnt) {
                     return Err(format!(
                         "child count ({b:?}→{c:?})={cnt} disagrees with recount {:?}",
@@ -661,13 +729,14 @@ impl Partition {
                     ));
                 }
                 stored += 1;
-                if self.blocks[c.index()].parents.get(&b) != Some(&cnt) {
+                // xsi-lint: allow(slice-index, c is a key of a live block map entry)
+                if self.blocks[c].parents.get(b) != Some(cnt) {
                     return Err(format!("parent map of {c:?} out of sync with {b:?}"));
                 }
             }
-            // xsi-lint: allow(hash-iter, consistency check: every parent entry is verified, pass/fail is order-free)
-            for &p in blk.parents.keys() {
-                if !self.blocks[p.index()].children.contains_key(&b) {
+            for p in blk.parents.keys() {
+                // xsi-lint: allow(slice-index, p is a key of a live block map entry)
+                if !self.blocks[p].children.contains_key(b) {
                     return Err(format!("parent entry {p:?} of {b:?} not mirrored"));
                 }
             }
@@ -684,10 +753,9 @@ impl Partition {
 
 impl fmt::Debug for Partition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Partition {{ {} blocks", self.live_blocks)?;
+        writeln!(f, "Partition {{ {} blocks", self.blocks.len())?;
         for b in self.blocks() {
-            let mut ps: Vec<BlockId> = self.blocks[b.index()].parents.keys().copied().collect();
-            ps.sort_unstable();
+            let ps: Vec<BlockId> = self.blocks[b].parents.keys().collect(); // xsi-lint: allow(slice-index, b comes from the live-blocks iterator)
             writeln!(f, "  {:?}: {:?} parents={:?}", b, self.extent(b), ps)?;
         }
         write!(f, "}}")
@@ -878,6 +946,37 @@ mod tests {
         let (_, p1, ..) = small();
         let (_, p2, ..) = small();
         assert_eq!(p1.canonical(), p2.canonical());
+    }
+
+    #[test]
+    fn released_id_goes_stale_and_recycles_with_new_generation() {
+        let (g, mut p, _, _, bb) = small();
+        let nodes: Vec<NodeId> = p.extent(bb).to_vec();
+        for n in nodes {
+            p.detach_node(n);
+        }
+        p.rebuild_counts(&g);
+        p.release_block(bb);
+        assert!(!p.is_live(bb));
+        // The slot is recycled with a fresh generation: the old handle
+        // stays stale, the new one is live, and they are not equal.
+        let fresh = p.new_block(g.label(g.root()));
+        assert_eq!(fresh.raw(), bb.raw(), "LIFO slot reuse");
+        assert_ne!(fresh, bb, "generation distinguishes the tenants");
+        assert!(p.is_live(fresh));
+        assert!(!p.is_live(bb));
+        assert_eq!(p.handle(bb.raw()), fresh);
+    }
+
+    #[test]
+    fn store_report_counts_maps_and_spills() {
+        let (_, p, ..) = small();
+        let r = p.store_report();
+        assert_eq!(r.blocks, 3);
+        assert_eq!(r.inline_maps + r.spilled_maps, 6, "two maps per block");
+        assert_eq!(r.spilled_maps, 0, "tiny partition stays inline");
+        assert_eq!(r.spill_events, 0);
+        assert!(r.entries >= 4, "root→a, a→b on both sides");
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::oneindex::OneIndex;
 use crate::partition::{BlockId, Partition};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xsi_graph::{EdgeKind, Graph, NodeId};
 
 /// Reconstructs the minimum 1-index from a (valid) current index by
@@ -36,7 +36,7 @@ pub fn reconstruct_1index(g: &Graph, current: &OneIndex) -> OneIndex {
     // Materialize the index graph: one node per inode, labels preserved,
     // one edge per iedge.
     let mut ig = Graph::new();
-    let mut inode_of_block: HashMap<BlockId, NodeId> = HashMap::new();
+    let mut inode_of_block: BTreeMap<BlockId, NodeId> = BTreeMap::new();
     for b in current.blocks() {
         let name = g.labels().name(current.label(b)).to_string();
         let n = ig.add_node(&name, None);
@@ -55,7 +55,7 @@ pub fn reconstruct_1index(g: &Graph, current: &OneIndex) -> OneIndex {
     // Blow up: two old inodes land in the same new inode iff their meta
     // nodes share a meta block.
     let mut p = Partition::new(g);
-    let mut new_block_of_meta: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut new_block_of_meta: BTreeMap<BlockId, BlockId> = BTreeMap::new();
     for b in current.blocks() {
         let meta_block = meta.block_of(inode_of_block[&b]);
         let nb = *new_block_of_meta

@@ -17,7 +17,7 @@
 use crate::akindex::AkIndex;
 use crate::oneindex::OneIndex;
 use crate::partition::Partition;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use xsi_graph::{Graph, NodeId};
 
@@ -189,8 +189,10 @@ impl AkIndex {
         let mut w = Writer::new(MAGIC_AKINDEX);
         w.u32(self.k() as u32);
         // Stable per-level enumeration; children reference the next
-        // level's position in this enumeration.
-        let mut position: HashMap<crate::akindex::ABlockId, u32> = HashMap::new();
+        // level's position in this enumeration. Sorted map keyed by the
+        // block handle: deterministic, and exempt from the
+        // `dense-side-table` lint by construction.
+        let mut position: BTreeMap<crate::akindex::ABlockId, u32> = BTreeMap::new();
         for level in (0..=self.k()).rev() {
             for (i, b) in self.blocks_at(level).enumerate() {
                 position.insert(b, i as u32);

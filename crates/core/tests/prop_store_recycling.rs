@@ -1,0 +1,176 @@
+//! Randomized tests for block-id recycling in the dense store layer.
+//!
+//! The [`SlotMap`] recycles slot indexes through a LIFO free list; the
+//! whole point of the generation scheme is that a handle held across a
+//! `release` can never silently alias the block that reused the slot.
+//! These tests drive adversarial alloc/release interleavings (seeded
+//! through `xsi_workload::test_seed`, so a failing case is replayable
+//! with `XSI_TEST_SEED=...`) and assert:
+//!
+//! * every handle saved before a release fails `is_current` forever,
+//!   even after its slot is re-allocated at a fresh generation;
+//! * `get` on a stale handle returns `None` (never the usurper's value);
+//! * side tables indexed by slot index stay consistent with the map's
+//!   own live-slot iteration;
+//! * at the index level, node-add/remove churn (which allocates and
+//!   releases partition blocks) keeps both maintainers' `check`
+//!   oracles green while slots are being recycled.
+
+use xsi_core::store::{SlotKey, SlotMap};
+use xsi_core::{AkIndex, OneIndex};
+use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_workload::{test_seed, SplitMix64};
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key(u32, u32);
+impl SlotKey for Key {
+    fn from_raw_parts(idx: u32, gen: u32) -> Self {
+        Key(idx, gen)
+    }
+    fn idx(self) -> u32 {
+        self.0
+    }
+    fn gen(self) -> u32 {
+        self.1
+    }
+}
+
+/// One adversarial interleaving: biased random walk over alloc/release
+/// with a payload check and a shadow side table after every step.
+fn drive_slot_map(seed: u64, steps: usize) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut m: SlotMap<Key, u64> = SlotMap::new();
+    // Live handles with the payload we wrote through them.
+    let mut live: Vec<(Key, u64)> = Vec::new();
+    // Every handle ever released — must stay stale forever.
+    let mut stale: Vec<Key> = Vec::new();
+    // The side-table pattern the partition uses: values indexed by raw
+    // slot index, valid only while the slot is live.
+    let mut side: Vec<u64> = Vec::new();
+    let mut next_payload = 1u64;
+
+    for step in 0..steps {
+        // Bias toward allocation early, toward release when large, and
+        // occasionally release in bursts to exercise LIFO reuse depth.
+        let release = !live.is_empty() && (rng.random_bool(0.4) || live.len() > 24);
+        if release {
+            let burst = rng.random_range(1..=live.len().min(4));
+            for _ in 0..burst {
+                let i = rng.random_range(0..live.len());
+                let (k, payload) = live.swap_remove(i);
+                assert_eq!(m.get(k), Some(&payload), "seed {seed:#x} step {step}");
+                m.release(k);
+                stale.push(k);
+            }
+        } else {
+            let (k, v) = m.alloc();
+            *v = next_payload;
+            if side.len() <= k.index() {
+                side.resize(k.index() + 1, 0);
+            }
+            side[k.index()] = next_payload;
+            live.push((k, next_payload));
+            next_payload += 1;
+        }
+
+        // Generation checks fire on every stale handle, even when the
+        // slot has been re-allocated (same idx, fresh generation).
+        for &k in &stale {
+            assert!(
+                !m.is_current(k),
+                "seed {seed:#x} step {step}: stale handle {k:?} reads as current"
+            );
+            assert_eq!(
+                m.get(k),
+                None,
+                "seed {seed:#x} step {step}: stale handle {k:?} reads a value"
+            );
+        }
+        // Live handles stay current and the side table agrees with the
+        // map for every live slot.
+        assert_eq!(m.len(), live.len());
+        for &(k, payload) in &live {
+            assert!(m.is_current(k));
+            assert_eq!(m[k], payload);
+            assert_eq!(side[k.index()], payload);
+            assert_eq!(m.handle_at(k.idx()), Some(k));
+        }
+        // Iteration sees exactly the live slots, in index order.
+        let mut expected: Vec<u32> = live.iter().map(|&(k, _)| k.idx()).collect();
+        expected.sort_unstable();
+        let seen: Vec<u32> = m.keys().map(SlotKey::idx).collect();
+        assert_eq!(seen, expected, "seed {seed:#x} step {step}");
+    }
+}
+
+#[test]
+fn slot_map_recycling_never_leaks_stale_handles() {
+    let base = test_seed(0x51_07_4A_B1);
+    for case in 0..24u64 {
+        drive_slot_map(base.wrapping_add(case), 160);
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "stale or dead handle")]
+fn stale_handle_access_panics_after_recycling() {
+    let mut m: SlotMap<Key, u64> = SlotMap::new();
+    let (a, _) = m.alloc();
+    let (b, _) = m.alloc();
+    m.release(a);
+    m.release(b);
+    // Both slots recycled at fresh generations; the old handle must trip
+    // the generation debug_assert, not read the usurper.
+    let _ = m.alloc();
+    let _ = m.alloc();
+    let _ = m[a];
+}
+
+/// Node-add/remove churn at the index level: every added node allocates
+/// a block, every removal releases one, and the LIFO free list makes
+/// later adds reuse released slots. Both maintainers' consistency
+/// oracles must hold at every step while this recycling is happening.
+#[test]
+fn index_level_block_recycling_keeps_side_tables_consistent() {
+    let base = test_seed(0x0B10_C4EC);
+    let labels = ["a", "b", "c"];
+    for case in 0..8u64 {
+        let seed = base.wrapping_add(case);
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut g = Graph::new();
+        let anchor = g.add_node("site", None);
+        g.insert_edge(g.root(), anchor, EdgeKind::Child).unwrap();
+        let mut one = OneIndex::build(&g);
+        let mut ak = AkIndex::build(&g, 2);
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for step in 0..120 {
+            if nodes.is_empty() || rng.random_bool(0.55) {
+                let n = g.add_node(labels[rng.random_range(0..labels.len())], None);
+                one.on_node_added(&g, n);
+                ak.on_node_added(&g, n);
+                if rng.random_bool(0.7) {
+                    g.insert_edge(anchor, n, EdgeKind::Child).unwrap();
+                    one.notify_edge_inserted(&g, anchor, n);
+                    ak.notify_edge_inserted(&g, anchor, n);
+                }
+                nodes.push(n);
+            } else {
+                let n = nodes.swap_remove(rng.random_range(0..nodes.len()));
+                if g.has_edge(anchor, n) {
+                    g.delete_edge(anchor, n).unwrap();
+                    one.notify_edge_deleted(&g, anchor, n);
+                    ak.notify_edge_deleted(&g, anchor, n);
+                }
+                one.on_node_removing(&g, n);
+                ak.on_node_removing(&g, n);
+                g.remove_node(n).unwrap();
+            }
+            one.partition()
+                .check_consistency(&g)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} step {step}: 1-index: {e}"));
+            ak.check_consistency(&g)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} step {step}: A(2): {e}"));
+        }
+    }
+}

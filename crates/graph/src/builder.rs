@@ -19,13 +19,17 @@
 //! ```
 
 use crate::graph::{EdgeKind, Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds a [`Graph`] from human-readable node keys and an edge list.
+///
+/// The key→id map is a `BTreeMap` so that iterating it (as replayable
+/// test fixtures and the conformance lab do) visits keys in numeric
+/// order rather than hash order.
 #[derive(Default)]
 pub struct GraphBuilder {
     graph: Graph,
-    by_key: HashMap<u64, NodeId>,
+    by_key: BTreeMap<u64, NodeId>,
 }
 
 impl GraphBuilder {
@@ -33,7 +37,7 @@ impl GraphBuilder {
     pub fn new() -> Self {
         Self {
             graph: Graph::new(),
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
         }
     }
 
@@ -110,7 +114,7 @@ impl GraphBuilder {
 
     /// Finishes the build, returning the graph together with the key→id map
     /// (useful when a test needs to perform updates afterwards).
-    pub fn build_with_ids(self) -> (Graph, HashMap<u64, NodeId>) {
+    pub fn build_with_ids(self) -> (Graph, BTreeMap<u64, NodeId>) {
         debug_assert_eq!(self.graph.check_consistency(), Ok(()));
         (self.graph, self.by_key)
     }

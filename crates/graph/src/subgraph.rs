@@ -148,7 +148,7 @@ mod tests {
 
     /// root -> 1(auction) -> {2(item), 3(price)}, 2 -> 4(name);
     /// 5(person) --idref--> 1; 2 --idref--> 5.
-    fn host() -> (Graph, HashMap<u64, NodeId>) {
+    fn host() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[
                 (1, "auction"),

@@ -1,0 +1,177 @@
+//! `dense-side-table`: hash containers keyed by block/node handles
+//! inside the dense data plane. See the registry entry in
+//! [`super::RULES`] for the full contract.
+//!
+//! After the store-layer refactor, the hot maintenance paths index all
+//! per-block and per-node state through [`SlotMap`]s, `Vec`-by-index
+//! side tables, or `ScratchTable` epochs — never through `HashMap`.
+//! This rule keeps it that way: any *new* `HashMap`/`HashSet` whose key
+//! type is a handle (`BlockId`, `ABlockId`, `NodeId`) in the scoped
+//! files is a regression back to pointer-chasing hash probes (and a
+//! latent hash-iter determinism hazard besides).
+//!
+//! [`SlotMap`]: https://docs.rs/slotmap — in-tree: `core/src/store/slot.rs`
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Files the rule applies to (suffix match on the workspace-relative
+/// path, so fixture mini-workspaces exercise the rule too). The store
+/// directory is matched as an infix: every file under it is in the
+/// dense data plane by definition.
+const TARGET_SUFFIXES: &[&str] = &[
+    "core/src/partition.rs",
+    "core/src/oneindex/maintain.rs",
+    "core/src/akindex/maintain.rs",
+];
+const TARGET_DIR_INFIX: &str = "core/src/store/";
+
+/// Handle types that identify a slot in the dense store. Keying a hash
+/// container by one of these means the dense representation was
+/// available and bypassed.
+const HANDLE_TYPES: &[&str] = &["BlockId", "ABlockId", "NodeId"];
+
+pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !TARGET_SUFFIXES.iter().any(|s| f.rel_path.ends_with(s))
+        && !f.rel_path.contains(TARGET_DIR_INFIX)
+    {
+        return;
+    }
+    let toks = &f.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // xsi-lint: allow(slice-index, i < toks.len is the loop guard)
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || (t.text != "HashMap" && t.text != "HashSet")
+            || f.is_test_line(t.line)
+        {
+            i += 1;
+            continue;
+        }
+        let container = t.text.clone();
+        let line = t.line;
+        // Optional turbofish `::` between the container and `<`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|p| p.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|p| p.is_punct(':'))
+        {
+            j += 2;
+        }
+        if !toks.get(j).is_some_and(|p| p.is_punct('<')) {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        // Skip reference/lifetime/mut noise in front of the key type.
+        while toks
+            .get(j)
+            .is_some_and(|p| p.is_punct('&') || p.kind == TokKind::Lifetime || p.is_ident("mut"))
+        {
+            j += 1;
+        }
+        // Resolve a (possibly path-qualified) key type to its last
+        // segment: `crate :: partition :: BlockId` → `BlockId`.
+        let mut key_idx = None;
+        while toks.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+            key_idx = Some(j);
+            if toks.get(j + 1).is_some_and(|p| p.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|p| p.is_punct(':'))
+                && toks.get(j + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j += 3;
+            } else {
+                break;
+            }
+        }
+        if let Some(k) = key_idx {
+            // xsi-lint: allow(slice-index, key_idx only ever holds indexes the walk just probed)
+            let key = toks[k].text.as_str();
+            if HANDLE_TYPES.contains(&key) {
+                out.push(super::finding(
+                    f,
+                    "dense-side-table",
+                    line,
+                    format!(
+                        "`{container}<{key}, …>` keys a hash container by a dense handle in the \
+                         data plane; use the SlotMap/Vec-by-index side tables (or a BTreeMap if \
+                         sparsity genuinely warrants a map), or waive with the reason a hash \
+                         container is required here"
+                    ),
+                ));
+            }
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint_at(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel.to_string(), PathBuf::from("/x.rs"), src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_at("crates/core/src/partition.rs", src)
+    }
+
+    #[test]
+    fn flags_handle_keyed_hashmap_in_partition() {
+        let src = "struct S { twins: HashMap<BlockId, u32> }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "dense-side-table");
+    }
+
+    #[test]
+    fn flags_hashset_and_path_qualified_keys() {
+        assert_eq!(lint("fn f(s: HashSet<NodeId>) {}").len(), 1);
+        assert_eq!(
+            lint("fn f(m: std::collections::HashMap<crate::akindex::ABlockId, u32>) {}").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_turbofish_and_reference_keys() {
+        assert_eq!(
+            lint("fn f() { let m = HashMap::<BlockId, u32>::new(); use_(m); }").len(),
+            1
+        );
+        assert_eq!(lint("fn f(m: HashMap<&NodeId, u32>) {}").len(), 1);
+    }
+
+    #[test]
+    fn other_key_types_and_btree_are_clean() {
+        assert_eq!(lint("fn f(m: HashMap<u32, BlockId>) {}").len(), 0);
+        assert_eq!(lint("fn f(m: BTreeMap<BlockId, u32>) {}").len(), 0);
+        assert_eq!(lint("fn f(m: HashMap<String, NodeId>) {}").len(), 0);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_untouched() {
+        let src = "fn f(m: HashMap<BlockId, u32>) {}";
+        assert_eq!(lint_at("crates/core/src/engine.rs", src).len(), 0);
+        assert_eq!(lint_at("crates/query/src/eval.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn store_directory_is_in_scope() {
+        let src = "fn f(m: HashMap<NodeId, u32>) {}";
+        assert_eq!(lint_at("crates/core/src/store/slot.rs", src).len(), 1);
+        assert_eq!(lint_at("crates/core/src/store/iedge.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(m: HashMap<BlockId, u32>) { use_(m); }\n}";
+        assert_eq!(lint(src).len(), 0);
+    }
+}

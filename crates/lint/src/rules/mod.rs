@@ -5,6 +5,7 @@
 //! Vec<Finding>)` function, a [`RuleInfo`] entry here, and a fixture
 //! triple (positive / waived / clean) under `tests/fixtures/`.
 
+pub mod dense_side_table;
 pub mod hash_iter;
 pub mod hygiene;
 pub mod obs_coverage;
@@ -48,6 +49,38 @@ arbitrary representative that is immediately canonicalized), waive with \
 `// xsi-lint: allow(hash-iter, <why order cannot escape>)`. This rule \
 is NOT baselineable: new hash-order hazards must be fixed or argued, \
 never frozen.",
+    },
+    RuleInfo {
+        name: "dense-side-table",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "HashMap/HashSet keyed by BlockId/ABlockId/NodeId in the dense data plane",
+        explain: "\
+The store-layer refactor (DESIGN.md §10) moved every per-block and \
+per-node side table in the hot maintenance paths onto dense \
+representations: generation-checked `SlotMap`s for block storage, \
+`Vec`-indexed-by-slot side tables, epoch-stamped `ScratchTable`s for \
+per-pass marks, and the adaptive `IedgeMap` for block adjacency. A \
+`HashMap`/`HashSet` keyed by one of the handle types (`BlockId`, \
+`ABlockId`, `NodeId`) inside `core/src/partition.rs`, `core/src/store/`, \
+or either maintainer reintroduces exactly what that refactor removed: \
+per-probe hashing and pointer chasing on the split/merge inner loops, \
+plus a latent hash-iteration determinism hazard (see `hash-iter`).
+
+The rule flags any `HashMap<K, …>`/`HashSet<K>` whose key type resolves \
+to a handle type — including path-qualified (`crate::partition::BlockId`) \
+and turbofish (`HashMap::<BlockId, _>`) spellings — in the scoped files. \
+Value position is fine; so are BTree containers (sorted, deterministic, \
+and acceptable for genuinely sparse cold-path tables).
+
+Fix: index a `Vec` (or `SlotMap` side table) by `handle.index()`, use a \
+`ScratchTable` for per-pass transient marks, or a `BTreeMap` for sparse \
+cold-path state. If a hash container is genuinely required (e.g. a \
+cold-path cache where neither density nor order matters), waive with \
+`// xsi-lint: allow(dense-side-table, <why dense/sorted forms don't \
+fit>)`. Not baselineable: the dense data plane starts clean and new \
+hash side tables must be argued, never frozen.",
     },
     RuleInfo {
         name: "panic-unwrap",
@@ -191,6 +224,7 @@ pub fn info(name: &str) -> Option<&'static RuleInfo> {
 
 /// Run every rule over one file.
 pub fn run_all(f: &SourceFile, out: &mut Vec<Finding>) {
+    dense_side_table::run(f, out);
     hash_iter::run(f, out);
     panics::run(f, out);
     obs_coverage::run(f, out);

@@ -60,6 +60,26 @@ fn hash_iter_fires_respects_waiver_and_sort() {
 }
 
 #[test]
+fn dense_side_table_fires_respects_waiver_and_ignores_clean_forms() {
+    let r = run_fixture(None);
+    let hits = live(&r, "dense-side-table");
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the handle-keyed HashMap field: {hits:?}"
+    );
+    assert_eq!(hits[0].0, "crates/core/src/partition.rs");
+    assert_eq!(
+        count_suppressed(&r, "dense-side-table", Suppression::Waived),
+        1
+    );
+    // Not baselineable: freezing today's counts must not hide it.
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    let second = run_fixture(Some(frozen));
+    assert_eq!(live(&second, "dense-side-table").len(), 1);
+}
+
+#[test]
 fn panic_rules_fire_and_accept_contract_prefixes() {
     let r = run_fixture(None);
     assert_eq!(

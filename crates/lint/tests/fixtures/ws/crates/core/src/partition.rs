@@ -1,0 +1,16 @@
+//! Fixture partition: dense-side-table expectations. The path suffix
+//! (`core/src/partition.rs`) puts it on that rule's target list — and
+//! on hot-assert's, so this file stays assert-free.
+
+pub struct BlockId(pub u32);
+pub struct NodeId(pub u32);
+
+pub struct Partition {
+    // Positive: a hash container keyed by a block handle.
+    pub twins: HashMap<BlockId, u32>,
+    // xsi-lint: allow(dense-side-table, cold-path cache; neither density nor order matters here)
+    pub memo: HashMap<NodeId, u32>,
+    // Clean: sorted map over handles, and a hash map over a plain key.
+    pub spill: BTreeMap<BlockId, u32>,
+    pub by_label: HashMap<u64, u32>,
+}

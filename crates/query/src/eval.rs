@@ -191,7 +191,10 @@ pub fn eval_index_raw(view: &dyn IndexQueryView, expr: &PathExpr) -> Vec<NodeId>
             Test::Label(name) => view.label_name(b) == name.as_str(),
         },
     );
-    let mut out: Vec<NodeId> = matched.into_iter().flat_map(|b| view.extent(b)).collect();
+    let mut out: Vec<NodeId> = matched
+        .into_iter()
+        .flat_map(|b| view.extent(b).iter().copied())
+        .collect();
     out.sort_unstable();
     out
 }
@@ -248,7 +251,7 @@ mod tests {
     use super::*;
     use xsi_graph::GraphBuilder;
 
-    fn sample() -> (Graph, std::collections::HashMap<u64, NodeId>) {
+    fn sample() -> (Graph, std::collections::BTreeMap<u64, NodeId>) {
         GraphBuilder::new()
             .nodes(&[(1, "site"), (2, "people"), (3, "person"), (4, "person")])
             .nodes(&[(5, "name"), (6, "name"), (7, "auctions"), (8, "auction")])
