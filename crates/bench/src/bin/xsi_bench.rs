@@ -108,6 +108,11 @@ fn main() {
     // Sample the dense-store representation state once at the export
     // point: `store_*` gauges + the probe-length histogram per family.
     engine.publish_store_reports();
+    // Freeze every family once at the export point so the snapshot
+    // series (snapshots_total, snapshot_freeze_nanos, snapshot_blocks,
+    // snapshot_cow_clones) are populated; xsi-metrics-check requires
+    // them. The snapshots themselves are dropped immediately.
+    let _ = engine.freeze();
     engine.obs_mut().flush();
 
     if let Some(path) = prom_out.as_deref() {

@@ -98,6 +98,23 @@ fn main() -> ExitCode {
     if !has_ops_total {
         return fail("metrics.counters: no ops_total series");
     }
+    // xsi_bench freezes every family once at the export point, so the
+    // snapshot series must be present in any conforming artifact.
+    let has_snapshots_total = counters
+        .iter()
+        .any(|c| c.get("name").and_then(Json::as_str) == Some("snapshots_total"));
+    if !has_snapshots_total {
+        return fail("metrics.counters: no snapshots_total series");
+    }
+    let Some(histograms) = metrics.get("histograms").and_then(Json::as_arr) else {
+        return fail("metrics.histograms must be an array");
+    };
+    let has_freeze_nanos = histograms
+        .iter()
+        .any(|h| h.get("name").and_then(Json::as_str) == Some("snapshot_freeze_nanos"));
+    if !has_freeze_nanos {
+        return fail("metrics.histograms: no snapshot_freeze_nanos series");
+    }
     println!(
         "xsi-metrics-check: {metrics_path}: ok ({} counters, {} gauges, {} histograms)",
         counters.len(),

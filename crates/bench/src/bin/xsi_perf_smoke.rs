@@ -20,11 +20,18 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
+
 use xsi_bench::micro::{bench_value, group, MicroResult};
 use xsi_bench::Args;
-use xsi_core::{AkIndex, OneIndex};
+use xsi_core::{AkIndex, OneIndex, StructuralIndex, UpdateEngine};
 use xsi_graph::{EdgeKind, Graph, NodeId};
+use xsi_query::{eval_index_raw, PathExpr};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
+
+/// The frozen-view benchmark query; hits the xmark vocabulary so the
+/// walk touches real extents instead of short-circuiting on a miss.
+const FROZEN_QUERY: &str = "//item//name";
 
 fn setup(scale: f64, seed: u64) -> (Graph, Vec<(NodeId, NodeId)>) {
     let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
@@ -89,6 +96,55 @@ fn main() {
         let (g, _) = setup(scale, seed);
         results.push(bench_value("1index_build", || OneIndex::build(&g)));
         results.push(bench_value("ak3_build", || AkIndex::build(&g, 3)));
+    }
+    {
+        // Freeze cost: O(blocks) Arc bumps per family, no extent copies
+        // (the dropped snapshots decref the same Arcs — both sides of
+        // the copy-on-write contract are in the loop).
+        let (g, _) = setup(scale, seed);
+        let mut engine = UpdateEngine::new(g);
+        engine.register(Box::new(OneIndex::build(engine.graph())));
+        engine.register(Box::new(AkIndex::build(engine.graph(), 3)));
+        results.push(bench_value("snapshot_freeze", || engine.freeze()));
+    }
+    {
+        // Query evaluation over a frozen view: the raw block walk on
+        // owned data, no live graph or index in sight.
+        let (g, _) = setup(scale, seed);
+        let idx = OneIndex::build(&g);
+        let snap = idx
+            .freeze(&g)
+            .expect("invariant: the 1-index supports freeze");
+        let expr = PathExpr::parse(FROZEN_QUERY).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+        results.push(bench_value("frozen_query", || eval_index_raw(&snap, &expr)));
+    }
+    {
+        // Reader throughput: 4 threads answering the same query over one
+        // shared frozen snapshot (ns per 4-reader round, spawn included).
+        let (g, _) = setup(scale, seed);
+        let idx = OneIndex::build(&g);
+        let snap = Arc::new(
+            idx.freeze(&g)
+                .expect("invariant: the 1-index supports freeze"),
+        );
+        results.push(bench_value("frozen_reader_throughput", || {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let snap = Arc::clone(&snap);
+                    std::thread::spawn(move || {
+                        let expr = PathExpr::parse(FROZEN_QUERY).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+                        eval_index_raw(&*snap, &expr).len()
+                    })
+                })
+                .collect();
+            readers
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("invariant: frozen-view readers never panic")
+                })
+                .sum::<usize>()
+        }));
     }
 
     if let Some(path) = args.str("json") {

@@ -159,6 +159,17 @@ impl StructuralIndex for FaultyOneIndex {
     fn query_view<'a>(&'a self, g: &'a Graph) -> Option<Box<dyn IndexQueryView + 'a>> {
         self.as_dyn().query_view(g)
     }
+
+    // Freezes delegate to the (corrupted) inner index: the harness's
+    // prefix-replay freeze oracle must hold even for a faulty index,
+    // since the replica replays the identical faulty behaviour.
+    fn freeze(&self, g: &Graph) -> Option<xsi_core::IndexSnapshot> {
+        self.as_dyn().freeze(g)
+    }
+
+    fn cow_clones(&self) -> u64 {
+        self.as_dyn().cow_clones()
+    }
 }
 
 /// Downcasts any registered 1-index-family trait object (real,

@@ -151,10 +151,13 @@ fn random_op(rng: &mut SplitMix64, cfg: &GenConfig) -> ScenarioOp {
                 nodes,
             }
         }
-        _ => {
+        90..=94 => {
             let _ = cfg; // uniform across configs today; knob reserved
             ScenarioOp::RemoveSubtree { root: raw_ref(rng) }
         }
+        // 5 % freeze points: frozen views are held across the remaining
+        // ops and re-validated by the prefix-replay oracle at the end.
+        _ => ScenarioOp::Freeze,
     }
 }
 

@@ -18,7 +18,18 @@
 //! | `ak-chain-oracle`   | A(k) split/merge  | naive k-bisim chain, any graph      |
 //! | `simple-refinement` | simple A(k)       | refines exact k-bisim classes       |
 //! | `query-*`           | every view        | naive data-graph evaluation         |
+//! | `freeze-live-*`     | every frozen view | live view at the freeze point       |
+//! | `freeze-replay-*`   | every frozen view | replica replayed to the freeze point|
 //! | `final-*`           | every index       | rebuild restores the minimum        |
+//!
+//! The `Freeze` scenario op freezes every registered index into an
+//! in-memory [`xsi_core::IndexSnapshot`]. Frozen views are validated
+//! twice: immediately (their raw query answers must match the live
+//! views'), and again at the *end* of the run — after arbitrary write
+//! churn — against a replica engine replayed to the same op prefix
+//! (`freeze-replay`: snapshot content equality plus query-answer
+//! equality). Together these prove snapshot isolation: the writer's
+//! post-freeze mutations never leak into a frozen view.
 //!
 //! Panics anywhere in the pipeline (including the engine's own
 //! `paranoid`-feature self-checks) are caught per-operation and turned
@@ -31,11 +42,11 @@ use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use xsi_core::obs::event::EventPayload;
 use xsi_core::{
-    check, reference, AkIndex, FlightRecorder, IndexHandle, NodeRef, OneIndex, PropagateOneIndex,
-    SimpleAkIndex, StructuralIndex, UpdateEngine, UpdateOp,
+    check, reference, AkIndex, FlightRecorder, IndexHandle, IndexSnapshot, NodeRef, OneIndex,
+    PropagateOneIndex, SimpleAkIndex, StructuralIndex, UpdateEngine, UpdateOp,
 };
 use xsi_graph::{is_acyclic, EdgeKind, Graph, NodeId};
-use xsi_query::{eval_graph, eval_index, PathExpr};
+use xsi_query::{eval_graph, eval_index, eval_index_raw, PathExpr};
 
 /// A convicted divergence: which step (by op index; `None` for the
 /// final rebuild phase), which check, and the oracle's explanation.
@@ -99,10 +110,11 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (Result<RunReport, Failure>, 
     run_scenario_impl(scenario, true)
 }
 
-fn run_scenario_impl(
-    scenario: &Scenario,
-    traced: bool,
-) -> (Result<RunReport, Failure>, Vec<String>) {
+/// Builds the lab engine for a scenario: base graph, handle list, all
+/// four families registered (slot 0 possibly fault-injected). Shared by
+/// the main run and the freeze oracle's prefix replicas, so both evolve
+/// bit-identically from the same op stream.
+fn build_lab_engine(scenario: &Scenario, traced: bool) -> (UpdateEngine, Vec<NodeId>, Handles) {
     let mut g = Graph::new();
     let mut handles: Vec<NodeId> = vec![g.root()];
     for label in &scenario.base_labels {
@@ -115,12 +127,6 @@ fn run_scenario_impl(
             let _ = g.insert_edge(handles[u], handles[v], kind);
         }
     }
-    let queries: Vec<(String, PathExpr)> = scenario
-        .queries
-        .iter()
-        .filter_map(|q| PathExpr::parse(q).ok().map(|e| (q.clone(), e)))
-        .collect();
-
     let one: Box<dyn StructuralIndex> = match scenario.fault {
         Some(fault) => Box::new(FaultyOneIndex::build(&g, fault)),
         None => Box::new(OneIndex::build(&g)),
@@ -141,22 +147,64 @@ fn run_scenario_impl(
         ak: engine.register(Box::new(ak)),
         simple: engine.register(Box::new(simple)),
     };
+    (engine, handles, hs)
+}
+
+/// Applies one scenario op to the engine (translate → batch), keeping
+/// the handle list in sync. Returns whether the graph was mutated;
+/// `Freeze` and deterministically inapplicable ops return `false`.
+fn apply_scenario_op(
+    engine: &mut UpdateEngine,
+    handles: &mut Vec<NodeId>,
+    op: &ScenarioOp,
+) -> bool {
+    let Some(batch) = translate(op, handles, engine.graph()) else {
+        return false;
+    };
+    match engine.apply_batch(&batch) {
+        Ok(result) => {
+            handles.retain(|&h| engine.graph().is_alive(h));
+            handles.extend(result.created);
+            true
+        }
+        // Structurally rejected batches leave all state untouched; count
+        // them as (deterministic) skips.
+        Err(_) => false,
+    }
+}
+
+fn run_scenario_impl(
+    scenario: &Scenario,
+    traced: bool,
+) -> (Result<RunReport, Failure>, Vec<String>) {
+    let queries: Vec<(String, PathExpr)> = scenario
+        .queries
+        .iter()
+        .filter_map(|q| PathExpr::parse(q).ok().map(|e| (q.clone(), e)))
+        .collect();
+    let (mut engine, mut handles, hs) = build_lab_engine(scenario, traced);
 
     let mut report = RunReport::default();
+    // Frozen views captured at `Freeze` ops, held across all subsequent
+    // churn: (op index, per-slot snapshots in registration order).
+    let mut frozen: Vec<(usize, Vec<Option<IndexSnapshot>>)> = Vec::new();
 
     for (i, op) in scenario.ops.iter().enumerate() {
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<bool, Failure> {
-            let Some(batch) = translate(op, &handles, engine.graph()) else {
+            if matches!(op, ScenarioOp::Freeze) {
+                let snaps = engine.freeze();
+                let checks = check_freeze_live(&engine, &hs, scenario.k, &queries, &snaps)
+                    .map_err(|(check, detail)| Failure {
+                        step: Some(i),
+                        check,
+                        detail,
+                    })?;
+                report.checks += checks;
+                frozen.push((i, snaps));
+                return Ok(true);
+            }
+            if !apply_scenario_op(&mut engine, &mut handles, op) {
                 return Ok(false);
-            };
-            match engine.apply_batch(&batch) {
-                Ok(result) => {
-                    handles.retain(|&h| engine.graph().is_alive(h));
-                    handles.extend(result.created);
-                }
-                // Structurally rejected batches leave all state
-                // untouched; count them as (deterministic) skips.
-                Err(_) => return Ok(false),
             }
             let checks =
                 check_all(&engine, &hs, scenario.k, &queries).map_err(|(check, detail)| {
@@ -199,6 +247,38 @@ fn run_scenario_impl(
 
     // The final phase consumes the engine; snapshot the trace first.
     let trace = engine.obs().stable_trace();
+
+    // Freeze oracle: every view frozen mid-run must — after all the
+    // churn above — still equal a replica index replayed to its freeze
+    // point, in content and in query answers (snapshot isolation).
+    for (i, snaps) in &frozen {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check_freeze_replay(scenario, *i, snaps, &queries)
+        }));
+        match outcome {
+            Ok(Ok(checks)) => report.checks += checks,
+            Ok(Err((check, detail))) => {
+                return (
+                    Err(Failure {
+                        step: Some(*i),
+                        check,
+                        detail,
+                    }),
+                    trace,
+                );
+            }
+            Err(payload) => {
+                return (
+                    Err(Failure {
+                        step: Some(*i),
+                        check: "panic".into(),
+                        detail: panic_message(payload),
+                    }),
+                    trace,
+                );
+            }
+        }
+    }
 
     // Final phase: rebuild must restore the family minimum everywhere.
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<usize, Failure> {
@@ -317,6 +397,9 @@ fn translate(op: &ScenarioOp, handles: &[NodeId], g: &Graph) -> Option<Vec<Updat
                     .collect(),
             )
         }
+        // Freeze never mutates the graph; the op loop handles it before
+        // translation (and prefix replicas simply skip it).
+        ScenarioOp::Freeze => None,
     }
 }
 
@@ -473,6 +556,137 @@ fn check_all(
     Ok(passed)
 }
 
+/// Registration-order slot names for freeze-check conviction messages.
+const SLOT_NAMES: [&str; 4] = ["one", "prop", "ak", "simple"];
+
+/// At-freeze validation: every frozen view's *raw* (graph-free) query
+/// answers must match the corresponding live view's raw answers at the
+/// freeze point. Returns the number of checks that passed.
+fn check_freeze_live(
+    engine: &UpdateEngine,
+    hs: &Handles,
+    k: usize,
+    queries: &[(String, PathExpr)],
+    snaps: &[Option<IndexSnapshot>],
+) -> Result<usize, (String, String)> {
+    let mut passed = 0usize;
+    let g = engine.graph();
+    let slots = [hs.one, hs.prop, hs.ak, hs.simple];
+    for (slot, (&handle, name)) in slots.iter().zip(SLOT_NAMES).enumerate() {
+        let Some(snap) = snaps.get(slot).and_then(Option::as_ref) else {
+            continue;
+        };
+        if snap.block_count() == 0 {
+            return Err((
+                format!("freeze-live-{name}"),
+                "frozen view has no blocks".into(),
+            ));
+        }
+        passed += 1;
+        // The live reference view: the index's own query view, or the
+        // assignment-derived view for the simple baseline (which has
+        // none). Faulty slot-0 indexes still expose their inner view.
+        let idx = engine.index(handle);
+        let live: Box<dyn xsi_core::IndexQueryView + '_> = match idx.query_view(g) {
+            Some(v) => v,
+            None => {
+                let simple = idx
+                    .as_any()
+                    .downcast_ref::<SimpleAkIndex>()
+                    .expect("invariant: every non-simple family exposes a query view");
+                Box::new(DerivedView::from_assignment(
+                    g,
+                    &simple.assignment(g),
+                    Some(k),
+                ))
+            }
+        };
+        for (text, expr) in queries {
+            let frozen_ans = eval_index_raw(snap, expr);
+            let live_ans = eval_index_raw(live.as_ref(), expr);
+            if frozen_ans != live_ans {
+                return Err((
+                    format!("freeze-live-{name}"),
+                    format!(
+                        "{text}: frozen view answered {} nodes, live view {}",
+                        frozen_ans.len(),
+                        live_ans.len()
+                    ),
+                ));
+            }
+            passed += 1;
+        }
+    }
+    Ok(passed)
+}
+
+/// End-of-run freeze oracle: replays a fresh replica engine to the
+/// freeze point (same base graph, same families, same fault, `Freeze`
+/// prefix ops skipped), freezes it, and demands (a) snapshot content
+/// equality and (b) raw query-answer equality per family. The original
+/// snapshots were held across all post-freeze churn, so any CoW leak in
+/// the live index shows up here. Returns the number of passed checks.
+fn check_freeze_replay(
+    scenario: &Scenario,
+    freeze_op: usize,
+    snaps: &[Option<IndexSnapshot>],
+    queries: &[(String, PathExpr)],
+) -> Result<usize, (String, String)> {
+    let mut passed = 0usize;
+    let (mut engine, mut handles, _hs) = build_lab_engine(scenario, false);
+    for op in scenario.ops.iter().take(freeze_op) {
+        apply_scenario_op(&mut engine, &mut handles, op);
+    }
+    let replica = engine.freeze();
+    if replica.len() != snaps.len() {
+        return Err((
+            "freeze-replay".into(),
+            format!(
+                "replica froze {} slots, original {}",
+                replica.len(),
+                snaps.len()
+            ),
+        ));
+    }
+    for (slot, name) in SLOT_NAMES.iter().enumerate() {
+        let (orig, rep) = (&snaps[slot], &replica[slot]); // xsi-lint: allow(slice-index, both vecs hold one entry per registered slot)
+        if orig != rep {
+            let describe = |s: &Option<IndexSnapshot>| match s {
+                Some(s) => format!("{} blocks", s.block_count()),
+                None => "no snapshot".into(),
+            };
+            return Err((
+                format!("freeze-replay-{name}"),
+                format!(
+                    "frozen view diverged from the replay-to-freeze-point replica \
+                     (original: {}, replica: {})",
+                    describe(orig),
+                    describe(rep)
+                ),
+            ));
+        }
+        passed += 1;
+        if let (Some(orig), Some(rep)) = (orig.as_ref(), rep.as_ref()) {
+            for (text, expr) in queries {
+                let a = eval_index_raw(orig, expr);
+                let b = eval_index_raw(rep, expr);
+                if a != b {
+                    return Err((
+                        format!("freeze-replay-{name}"),
+                        format!(
+                            "{text}: frozen view answered {} nodes, replica {}",
+                            a.len(),
+                            b.len()
+                        ),
+                    ));
+                }
+                passed += 1;
+            }
+        }
+    }
+    Ok(passed)
+}
+
 /// Consumes the engine and verifies that `rebuild` restores the family
 /// minimum for every registered index.
 fn final_checks(engine: UpdateEngine) -> Result<usize, (String, String)> {
@@ -562,6 +776,82 @@ mod tests {
         let report = run_scenario(&s).unwrap();
         assert_eq!(report.applied, 0);
         assert_eq!(report.skipped, 3);
+    }
+
+    /// Freezes interleave with real churn: at-freeze validation and the
+    /// end-of-run prefix-replay oracle both pass, and freeze checks are
+    /// counted.
+    #[test]
+    fn freeze_ops_validate_against_the_replay_oracle() {
+        let s = Scenario {
+            seed: 3,
+            k: 2,
+            fault: None,
+            base_labels: vec!["a".into(), "a".into(), "b".into(), "b".into()],
+            base_edges: vec![
+                (0, 1, EdgeKind::Child),
+                (0, 2, EdgeKind::Child),
+                (1, 3, EdgeKind::Child),
+                (2, 4, EdgeKind::Child),
+            ],
+            queries: vec!["/a/b".into(), "//b".into(), "//*".into()],
+            ops: vec![
+                ScenarioOp::Freeze,                        // freeze the base state
+                ScenarioOp::DeleteEdge { from: 1, to: 3 }, // splits {b,b}
+                ScenarioOp::Freeze,                        // freeze mid-churn
+                ScenarioOp::AddSubtree {
+                    parent: 2,
+                    nodes: vec![("b".into(), 0), ("c".into(), 0)],
+                },
+                ScenarioOp::InsertEdge {
+                    from: 1,
+                    to: 4,
+                    kind: EdgeKind::IdRef,
+                },
+                ScenarioOp::Freeze, // freeze again, then more churn
+                ScenarioOp::RemoveSubtree { root: 2 },
+            ],
+        };
+        let report = run_scenario(&s).unwrap();
+        // Freezes count as applied ops alongside the four mutations.
+        assert_eq!(report.applied, 7);
+        assert_eq!(report.skipped, 0);
+        assert!(report.checks > 0);
+    }
+
+    /// Freeze ops survive generation → replay → run in fault-injected
+    /// scenarios too (the replica replays the same faulty behaviour, so
+    /// the freeze oracle itself stays quiet while the planted fault is
+    /// convicted by the maintenance oracles).
+    #[test]
+    fn freeze_coexists_with_fault_injection() {
+        use crate::fault::FaultSpec;
+        let s = Scenario {
+            seed: 4,
+            k: 1,
+            fault: Some(FaultSpec::SkipMerge),
+            base_labels: vec!["a".into(), "b".into(), "b".into()],
+            base_edges: vec![
+                (0, 1, EdgeKind::Child),
+                (1, 2, EdgeKind::Child),
+                (1, 3, EdgeKind::Child),
+            ],
+            queries: vec!["//b".into()],
+            ops: vec![
+                ScenarioOp::Freeze,
+                ScenarioOp::InsertEdge {
+                    from: 0,
+                    to: 2,
+                    kind: EdgeKind::IdRef,
+                },
+                ScenarioOp::Freeze,
+                ScenarioOp::DeleteEdge { from: 0, to: 2 },
+            ],
+        };
+        let err = run_scenario(&s).unwrap_err();
+        // The skip-merge fault is convicted by the minimality oracle at
+        // the delete — not misattributed to the freeze machinery.
+        assert_eq!(err.check, "one-minimality", "{err}");
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum ScenarioOp {
     /// Remove the Child-reachable subtree of a resolved node as one
     /// engine batch of `RemoveNode`s; skipped if it resolves to the root.
     RemoveSubtree { root: usize },
+    /// Freeze every registered index into an in-memory
+    /// [`xsi_core::IndexSnapshot`]. The harness validates the frozen
+    /// views against the live index at the freeze point, holds them
+    /// across all subsequent ops, and re-validates them at the end of
+    /// the run against a replica index replayed to the same op prefix
+    /// (snapshot isolation under write churn).
+    Freeze,
 }
 
 /// A complete, replayable conformance scenario.
@@ -150,6 +157,9 @@ impl Scenario {
                 }
                 ScenarioOp::RemoveSubtree { root } => {
                     out.push_str(&format!("op remove-subtree {root}\n"));
+                }
+                ScenarioOp::Freeze => {
+                    out.push_str("op freeze\n");
                 }
             }
         }
@@ -332,6 +342,7 @@ fn parse_op(words: &[&str]) -> Result<ScenarioOp, String> {
         ["remove-subtree", r] => Ok(ScenarioOp::RemoveSubtree {
             root: r.parse().map_err(|_| format!("bad index {r:?}"))?,
         }),
+        ["freeze"] => Ok(ScenarioOp::Freeze),
         _ => Err(format!("unknown op {words:?}")),
     }
 }
@@ -360,6 +371,7 @@ mod tests {
                     parent: 1,
                     nodes: vec![("a".into(), 0), ("b".into(), 0), ("c".into(), 1)],
                 },
+                ScenarioOp::Freeze,
                 ScenarioOp::RemoveSubtree { root: 2 },
                 ScenarioOp::RemoveNode { node: 1 },
             ],

@@ -425,7 +425,10 @@ impl AkIndex {
         }
         self.node_block[n.index()] = parent;
         self.node_pos[n.index()] = self.blocks[parent].extent.len() as u32;
-        self.blocks[parent].extent.push(n);
+        self.blocks[parent]
+            .extent
+            .make_mut(&mut self.cow_clones)
+            .push(n);
     }
 
     /// Unregisters a node about to be removed (must be edge-free; call
@@ -437,7 +440,7 @@ impl AkIndex {
         let k = self.k();
         // Extent removal at level k.
         let pos = self.node_pos[n.index()] as usize;
-        let extent = &mut self.blocks[chain[k]].extent;
+        let extent = self.blocks[chain[k]].extent.make_mut(&mut self.cow_clones);
         extent.swap_remove(pos);
         if let Some(&moved) = extent.get(pos) {
             self.node_pos[moved.index()] = pos as u32;

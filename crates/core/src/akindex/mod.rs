@@ -35,9 +35,10 @@ pub mod subgraph;
 pub use simple::SimpleAkIndex;
 pub use storage::StorageReport;
 
-use crate::store::{IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
+use crate::store::{CowVec, IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use xsi_graph::{Graph, Label, NodeId};
 
 /// Identifier of a block at any level of the refinement tree: a slot
@@ -108,8 +109,10 @@ struct ABlock {
     /// Refinement-tree children (level+1); empty at level k. Sorted, so
     /// tree traversals are deterministic without per-visit sorting.
     tree_children: BTreeSet<ABlockId>,
-    /// Extent; populated only at level k.
-    extent: Vec<NodeId>,
+    /// Extent; populated only at level k. `Arc`-shared with frozen
+    /// snapshots (`core::view`): writes go through `CowVec::make_mut`
+    /// and clone only when a snapshot holds the run.
+    extent: CowVec<NodeId>,
     /// `E_{level−1}` reversed: dedge counts from level−1 blocks into self.
     pred_cross: IedgeMap<ABlockId>,
     /// `E_level`: dedge counts from self into level+1 blocks (level < k).
@@ -127,7 +130,7 @@ impl Default for ABlock {
             weight: 0,
             tree_parent: ABlockId::INVALID,
             tree_children: BTreeSet::new(),
-            extent: Vec::new(),
+            extent: CowVec::new(),
             pred_cross: IedgeMap::new(),
             succ_cross: IedgeMap::new(),
             succ_intra: IedgeMap::new(),
@@ -158,6 +161,9 @@ pub struct AkIndex {
     split_counts: ScratchTable<u32>,
     split_full: ScratchTable<bool>,
     split_partner: ScratchTable<ABlockId>,
+    /// Cumulative count of extent runs cloned because a frozen snapshot
+    /// still shared them (exported as `snapshot_cow_clones`).
+    cow_clones: u64,
 }
 
 impl AkIndex {
@@ -210,6 +216,7 @@ impl AkIndex {
             split_counts: ScratchTable::new(),
             split_full: ScratchTable::new(),
             split_partner: ScratchTable::new(),
+            cow_clones: 0,
         };
         // Create blocks per (level, class) and link the tree.
         let mut block_of_class: Vec<HashMap<u32, ABlockId>> = vec![HashMap::new(); k + 1];
@@ -232,7 +239,7 @@ impl AkIndex {
                 if level == k {
                     idx.node_block[n.index()] = b;
                     idx.node_pos[n.index()] = idx.blocks[b].extent.len() as u32;
-                    idx.blocks[b].extent.push(n);
+                    idx.blocks[b].extent.make_mut(&mut idx.cow_clones).push(n);
                 }
                 parent = b;
             }
@@ -286,6 +293,20 @@ impl AkIndex {
     pub fn extent(&self, b: ABlockId) -> &[NodeId] {
         debug_assert_eq!(self.blocks[b].level as usize, self.k);
         &self.blocks[b].extent
+    }
+
+    /// Shares a level-k inode's extent run with a frozen snapshot:
+    /// O(1), no node ids copied. The writer's next mutation of `b`
+    /// clones the run (counted in [`AkIndex::cow_clone_count`]).
+    pub fn share_extent(&self, b: ABlockId) -> Arc<Vec<NodeId>> {
+        debug_assert_eq!(self.blocks[b].level as usize, self.k); // xsi-lint: allow(slice-index, caller passes a live level-k handle)
+        self.blocks[b].extent.share() // xsi-lint: allow(slice-index, caller passes a live level-k handle)
+    }
+
+    /// Cumulative count of extent runs cloned because a frozen snapshot
+    /// still shared them.
+    pub fn cow_clone_count(&self) -> u64 {
+        self.cow_clones
     }
 
     /// Label of a block.
@@ -546,7 +567,9 @@ impl AkIndex {
         // Extent at level k.
         if old_chain[self.k] != new_chain[self.k] {
             let pos = self.node_pos[n.index()] as usize;
-            let extent = &mut self.blocks[old_chain[self.k]].extent;
+            let extent = self.blocks[old_chain[self.k]]
+                .extent
+                .make_mut(&mut self.cow_clones);
             debug_assert_eq!(extent[pos], n);
             extent.swap_remove(pos);
             if let Some(&moved) = extent.get(pos) {
@@ -555,7 +578,7 @@ impl AkIndex {
             let blk = &mut self.blocks[new_chain[self.k]];
             self.node_block[n.index()] = new_chain[self.k];
             self.node_pos[n.index()] = blk.extent.len() as u32;
-            blk.extent.push(n);
+            blk.extent.make_mut(&mut self.cow_clones).push(n);
         }
         // Edge counts: n as target (its parents' cross edges), n as source.
         for p in g.pred(n) {
@@ -599,19 +622,19 @@ impl AkIndex {
         // Extent or tree children.
         if level == k {
             let src_extent = std::mem::take(&mut self.blocks[src].extent);
-            for &n in &src_extent {
+            for &n in src_extent.iter() {
                 let blk = &mut self.blocks[dst];
                 self.node_block[n.index()] = dst;
                 self.node_pos[n.index()] = blk.extent.len() as u32;
-                blk.extent.push(n);
+                blk.extent.make_mut(&mut self.cow_clones).push(n);
             }
             // Hand the drained allocation back to the recycled slot so
-            // the next block minted there starts with capacity.
-            let slot = &mut self.blocks[src].extent;
-            if slot.capacity() < src_extent.capacity() {
-                let mut e = src_extent;
+            // the next block minted there starts with capacity — unless
+            // a frozen snapshot still shares the run, in which case the
+            // snapshot keeps the nodes and the slot starts fresh.
+            if let Some(mut e) = src_extent.take_unique() {
                 e.clear();
-                *slot = e;
+                self.blocks[src].extent = e.into();
             }
         } else {
             let kids = std::mem::take(&mut self.blocks[src].tree_children);

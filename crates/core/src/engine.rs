@@ -41,6 +41,7 @@ use crate::obs::event::{EventPayload, IndexFamily, OpKind};
 use crate::obs::{clamp32, ObsHub};
 use crate::rebuild::RebuildPolicy;
 use crate::stats::UpdateStats;
+use crate::view::IndexSnapshot;
 use std::time::{Duration, Instant};
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
 
@@ -347,6 +348,33 @@ impl UpdateEngine {
         }
     }
 
+    /// Freezes every registered index into an immutable
+    /// [`IndexSnapshot`] (registration order; `None` for families that
+    /// cannot freeze). O(blocks) per index: extent runs are
+    /// `Arc`-shared, not copied — the writer's next mutation of a
+    /// frozen block clones only that block's run. Emits one
+    /// `snapshot-freeze` event per frozen index when the obs hub is
+    /// active (→ `snapshots_total`, `snapshot_freeze_nanos`,
+    /// `snapshot_cow_clones`); snapshots are returned either way.
+    pub fn freeze(&mut self) -> Vec<Option<IndexSnapshot>> {
+        let active = self.obs.is_active();
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let t = if active { Some(Instant::now()) } else { None };
+            let snap = e.index.freeze(&self.g);
+            if let (Some(t), Some(s)) = (t, snap.as_ref()) {
+                self.obs.emit(EventPayload::SnapshotFreeze {
+                    family: e.family,
+                    blocks: clamp32(s.block_count()),
+                    cow_clones: e.index.cow_clones(),
+                    nanos: t.elapsed().as_nanos() as u64,
+                });
+            }
+            out.push(snap);
+        }
+        out
+    }
+
     /// Consistency check of every registered index against the graph.
     pub fn check(&self) -> Result<(), String> {
         for e in &self.entries {
@@ -616,6 +644,54 @@ mod tests {
         let mut silent = UpdateEngine::new(host().0);
         silent.register(Box::new(OneIndex::build(silent.graph())));
         silent.publish_store_reports();
+        assert_eq!(silent.obs().events_emitted(), 0);
+    }
+
+    #[test]
+    fn freeze_returns_snapshots_and_lands_in_metrics() {
+        use crate::obs::event::IndexFamily;
+        use crate::obs::MetricKey;
+        let (g, ids) = host();
+        let mut engine = UpdateEngine::new(g);
+        engine.obs_mut().enable_metrics();
+        engine.register(Box::new(OneIndex::build(engine.graph())));
+        engine.register(Box::new(AkIndex::build(engine.graph(), 2)));
+        let snaps = engine.freeze();
+        assert_eq!(snaps.len(), 2);
+        for (snap, expected) in snaps.iter().zip(["1-index", "A(2)-index"]) {
+            let snap = snap.as_ref().expect("both families freeze");
+            assert_eq!(snap.family(), expected);
+            assert!(snap.block_count() > 0);
+        }
+        // The frozen 1-index view answers while the writer churns.
+        use crate::index::IndexQueryView;
+        let frozen = snaps[0].as_ref().unwrap();
+        let root_extent: Vec<NodeId> = frozen.extent(frozen.start_block()).to_vec();
+        engine.delete_edge(ids[&4], ids[&2]).unwrap();
+        assert_eq!(frozen.extent(frozen.start_block()), &root_extent[..]);
+
+        let m = engine.obs().metrics().unwrap();
+        for fam in [IndexFamily(0), IndexFamily(1)] {
+            assert_eq!(
+                m.counter_value(&MetricKey::named("snapshots_total").family(fam)),
+                1
+            );
+            let h = m
+                .histogram(&MetricKey::named("snapshot_freeze_nanos").family(fam))
+                .expect("freeze timing histogram recorded");
+            assert_eq!(h.count, 1);
+            assert_eq!(
+                m.gauge_value(&MetricKey::named("snapshot_cow_clones").family(fam)),
+                Some(0.0),
+                "freeze copies no extent runs up front"
+            );
+        }
+        // Freezing with the hub inactive still returns snapshots but
+        // emits nothing.
+        let mut silent = UpdateEngine::new(host().0);
+        silent.register(Box::new(OneIndex::build(silent.graph())));
+        let snaps = silent.freeze();
+        assert!(snaps[0].is_some());
         assert_eq!(silent.obs().events_emitted(), 0);
     }
 

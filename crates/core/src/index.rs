@@ -35,6 +35,7 @@ use crate::oneindex::OneIndex;
 use crate::rebuild::reconstruct_1index;
 use crate::stats::UpdateStats;
 use crate::store::StoreReport;
+use crate::view::IndexSnapshot;
 use xsi_graph::{Graph, NodeId};
 
 /// A structural index over a [`Graph`] it does not own, maintainable
@@ -90,6 +91,22 @@ pub trait StructuralIndex {
     /// no iedge maps. Cheap: one pass over the block table.
     fn store_report(&self) -> Option<StoreReport> {
         None
+    }
+
+    /// Freezes an immutable in-memory [`IndexSnapshot`] of the index in
+    /// O(blocks) — extent runs are `Arc`-shared, not copied (see
+    /// [`crate::view`]). `None` for families that cannot produce a
+    /// self-contained queryable view.
+    fn freeze(&self, _g: &Graph) -> Option<IndexSnapshot> {
+        None
+    }
+
+    /// Cumulative count of extent runs the writer has had to clone
+    /// because a frozen snapshot still shared them (exported as
+    /// `snapshot_cow_clones`). Always 0 for families whose freeze
+    /// materializes rather than shares.
+    fn cow_clones(&self) -> u64 {
+        0
     }
 
     /// Escape hatch to the concrete type (for tests and tools that need
@@ -174,6 +191,14 @@ impl StructuralIndex for OneIndex {
 
     fn store_report(&self) -> Option<StoreReport> {
         Some(self.partition().store_report())
+    }
+
+    fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
+        Some(IndexSnapshot::from_one_index(g, self, self.describe()))
+    }
+
+    fn cow_clones(&self) -> u64 {
+        self.partition().cow_clone_count()
     }
 }
 
@@ -287,6 +312,14 @@ impl StructuralIndex for PropagateOneIndex {
     fn store_report(&self) -> Option<StoreReport> {
         Some(self.0.partition().store_report())
     }
+
+    fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
+        Some(IndexSnapshot::from_one_index(g, &self.0, self.describe()))
+    }
+
+    fn cow_clones(&self) -> u64 {
+        self.0.partition().cow_clone_count()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +378,14 @@ impl StructuralIndex for AkIndex {
 
     fn store_report(&self) -> Option<StoreReport> {
         Some(AkIndex::store_report(self))
+    }
+
+    fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
+        Some(IndexSnapshot::from_ak_index(g, self, self.describe()))
+    }
+
+    fn cow_clones(&self) -> u64 {
+        self.cow_clone_count()
     }
 }
 
@@ -425,7 +466,13 @@ impl StructuralIndex for SimpleAkIndex {
     }
 
     // No query_view: the simple baseline maintains extents only, no
-    // iedges — queries must go through a rebuilt exact index.
+    // iedges — live queries must go through a rebuilt exact index. A
+    // *freeze* is still possible: the snapshot derives the block graph
+    // the class assignment induces (O(n + m), documented deviation from
+    // the O(blocks) freeze of the iedge-bearing families).
+    fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
+        Some(IndexSnapshot::from_simple_ak(g, self, self.describe()))
+    }
 }
 
 #[cfg(test)]

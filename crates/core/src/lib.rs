@@ -79,6 +79,7 @@ pub mod reference;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod view;
 
 pub use akindex::{AkIndex, SimpleAkIndex};
 pub use batch::{
@@ -92,3 +93,4 @@ pub use obs::{FlightRecorder, JsonlWriter, MetricsRegistry, NullRecorder, ObsHub
 pub use oneindex::OneIndex;
 pub use partition::{BlockId, Partition};
 pub use stats::UpdateStats;
+pub use view::{FrozenBlock, IndexSnapshot};

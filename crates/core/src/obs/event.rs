@@ -80,6 +80,11 @@ pub mod callsite {
         id: 9,
         name: "store-report",
     };
+    /// One index was frozen into an in-memory [`crate::view::IndexSnapshot`].
+    pub const SNAPSHOT_FREEZE: CallsiteId = CallsiteId {
+        id: 10,
+        name: "snapshot-freeze",
+    };
 }
 
 /// Compact handle to a registered index family (slot order of
@@ -248,6 +253,21 @@ pub enum EventPayload {
         /// divide by `inline_maps + spilled_maps` for a mean probe length.
         probe_total: u64,
     },
+    /// One index was frozen into an in-memory
+    /// [`crate::view::IndexSnapshot`] (emitted by
+    /// [`crate::engine::UpdateEngine::freeze`]).
+    SnapshotFreeze {
+        /// Which registered index.
+        family: IndexFamily,
+        /// Blocks captured in the frozen view.
+        blocks: u32,
+        /// The index's cumulative CoW clone count *after* this freeze —
+        /// extent runs the writer had to copy because an earlier
+        /// snapshot still shared them.
+        cow_clones: u64,
+        /// Wall-clock nanoseconds inside the freeze.
+        nanos: u64,
+    },
 }
 
 impl EventPayload {
@@ -263,6 +283,7 @@ impl EventPayload {
             EventPayload::BatchSegment { .. } => callsite::BATCH_SEGMENT,
             EventPayload::OracleCheck { .. } => callsite::ORACLE_CHECK,
             EventPayload::StoreReport { .. } => callsite::STORE_REPORT,
+            EventPayload::SnapshotFreeze { .. } => callsite::SNAPSHOT_FREEZE,
         }
     }
 }
@@ -388,6 +409,17 @@ impl Event {
                 field_num(&mut out, "max_entries", max_entries.into());
                 field_num(&mut out, "probe_total", probe_total);
             }
+            EventPayload::SnapshotFreeze {
+                family,
+                blocks,
+                cow_clones,
+                nanos,
+            } => {
+                field_str(&mut out, "family", &family_name(family));
+                field_num(&mut out, "blocks", blocks.into());
+                field_num(&mut out, "cow_clones", cow_clones);
+                field_num(&mut out, "nanos", nanos);
+            }
         }
         out.push('}');
         out
@@ -482,6 +514,17 @@ impl Event {
                     family_name(family)
                 ));
             }
+            EventPayload::SnapshotFreeze {
+                family,
+                blocks,
+                cow_clones,
+                ..
+            } => {
+                s.push_str(&format!(
+                    " family={} blocks={blocks} cow_clones={cow_clones}",
+                    family_name(family)
+                ));
+            }
         }
         s
     }
@@ -512,6 +555,7 @@ mod tests {
             callsite::BATCH_SEGMENT,
             callsite::ORACLE_CHECK,
             callsite::STORE_REPORT,
+            callsite::SNAPSHOT_FREEZE,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -361,6 +361,20 @@ impl MetricsRegistry {
                     self.observe(g("store_probe_len"), mean);
                 }
             }
+            EventPayload::SnapshotFreeze {
+                family,
+                blocks,
+                cow_clones,
+                nanos,
+            } => {
+                let k = |name| MetricKey::named(name).family(family);
+                self.counter_add(k("snapshots_total"), 1);
+                // `_nanos` histograms are excluded from the deterministic
+                // JSON projection automatically.
+                self.observe(k("snapshot_freeze_nanos"), nanos);
+                self.observe(k("snapshot_blocks"), blocks.into());
+                self.gauge_set(k("snapshot_cow_clones"), cow_clones as f64);
+            }
         }
     }
 

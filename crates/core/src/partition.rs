@@ -27,9 +27,10 @@
 //! is caught by the debug-build generation checks instead of silently
 //! aliasing the block that reused the slot.
 
-use crate::store::{IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
+use crate::store::{CowVec, IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 use xsi_graph::{Graph, Label, NodeId};
 
 /// Identifier of a block (an inode's extent): a dense slot index plus
@@ -89,7 +90,10 @@ impl fmt::Debug for BlockId {
 #[derive(Clone, Debug)]
 struct Block {
     label: Label,
-    extent: Vec<NodeId>,
+    /// The extent run, `Arc`-shared with frozen snapshots
+    /// (`core::view`): reads deref to a slice, writes go through
+    /// `CowVec::make_mut` and clone only when a snapshot holds the run.
+    extent: CowVec<NodeId>,
     /// `parents[P]` = number of dedges (u, v) with `u ∈ P`, `v ∈ self`.
     parents: IedgeMap<BlockId>,
     /// `children[C]` = number of dedges (u, v) with `u ∈ self`, `v ∈ C`.
@@ -100,7 +104,7 @@ impl Default for Block {
     fn default() -> Self {
         Block {
             label: Label::from_index(0),
-            extent: Vec::new(),
+            extent: CowVec::new(),
             parents: IedgeMap::new(),
             children: IedgeMap::new(),
         }
@@ -131,6 +135,9 @@ pub struct Partition {
     split_flag: ScratchTable<bool>,
     /// Per-split scratch: partner block by split block slot index.
     split_partner: ScratchTable<BlockId>,
+    /// Cumulative count of extent runs cloned because a frozen snapshot
+    /// still shared them (exported as `snapshot_cow_clones`).
+    cow_clones: u64,
 }
 
 impl Partition {
@@ -147,6 +154,7 @@ impl Partition {
             split_counts: ScratchTable::new(),
             split_flag: ScratchTable::new(),
             split_partner: ScratchTable::new(),
+            cow_clones: 0,
         }
     }
 
@@ -208,6 +216,23 @@ impl Partition {
     #[inline]
     pub fn extent(&self, b: BlockId) -> &[NodeId] {
         &self.blocks[b].extent
+    }
+
+    /// Shares block `b`'s extent run with a frozen snapshot: O(1), no
+    /// node ids copied. The writer's next mutation of `b` clones the
+    /// run (counted in [`Partition::cow_clone_count`]); the snapshot
+    /// keeps this version.
+    #[inline]
+    pub fn share_extent(&self, b: BlockId) -> Arc<Vec<NodeId>> {
+        self.blocks[b].extent.share() // xsi-lint: allow(slice-index, caller passes a live block handle)
+    }
+
+    /// Cumulative count of extent runs cloned because a frozen snapshot
+    /// still shared them. Starts at 0 and stays 0 until a mutation
+    /// actually lands on a frozen block.
+    #[inline]
+    pub fn cow_clone_count(&self) -> u64 {
+        self.cow_clones
     }
 
     /// `|b|`: the number of dnodes in block `b`.
@@ -311,7 +336,7 @@ impl Partition {
         let blk = &mut self.blocks[b];
         self.node_block[n.index()] = b;
         self.node_pos[n.index()] = blk.extent.len() as u32;
-        blk.extent.push(n);
+        blk.extent.make_mut(&mut self.cow_clones).push(n);
     }
 
     /// Removes a node from its block **without** touching iedge counts —
@@ -326,7 +351,7 @@ impl Partition {
 
     fn remove_from_extent(&mut self, n: NodeId, b: BlockId) {
         let pos = self.node_pos[n.index()] as usize;
-        let extent = &mut self.blocks[b].extent;
+        let extent = self.blocks[b].extent.make_mut(&mut self.cow_clones);
         debug_assert_eq!(extent[pos], n);
         extent.swap_remove(pos);
         if let Some(&moved) = extent.get(pos) {
@@ -345,7 +370,7 @@ impl Partition {
         let blk = &mut self.blocks[to];
         self.node_block[n.index()] = to;
         self.node_pos[n.index()] = blk.extent.len() as u32;
-        blk.extent.push(n);
+        blk.extent.make_mut(&mut self.cow_clones).push(n);
         // Re-home the counts of every dedge incident to n. Other endpoints
         // are stationary, and self-loops are impossible, so their blocks
         // are well-defined throughout.
@@ -494,16 +519,20 @@ impl Partition {
         debug_assert_eq!(self.label(dst), self.label(src), "label mismatch in merge");
         // Extent transfer.
         let src_extent = std::mem::take(&mut self.blocks[src].extent);
-        for &n in &src_extent {
+        for &n in src_extent.iter() {
             let blk = &mut self.blocks[dst];
             self.node_block[n.index()] = dst;
             self.node_pos[n.index()] = blk.extent.len() as u32;
-            blk.extent.push(n);
+            blk.extent.make_mut(&mut self.cow_clones).push(n);
         }
-        // Reuse the drained Vec's allocation for src's next life.
-        let mut recycled = src_extent;
-        recycled.clear();
-        self.blocks[src].extent = recycled;
+        // Reuse the drained run's allocation for src's next life — unless
+        // a frozen snapshot still shares it, in which case the snapshot
+        // keeps the nodes and src starts from the fresh empty run that
+        // `take` left behind.
+        if let Some(mut recycled) = src_extent.take_unique() {
+            recycled.clear();
+            self.blocks[src].extent = recycled.into();
+        }
         // Count transfer. Drain src's maps (sorted, keeping their spill
         // history in the slot), remove the src↔src self entry (it appears
         // in both maps but describes the same dedges), then replay every
@@ -966,6 +995,24 @@ mod tests {
         assert!(p.is_live(fresh));
         assert!(!p.is_live(bb));
         assert_eq!(p.handle(bb.raw()), fresh);
+    }
+
+    #[test]
+    fn cow_clones_count_only_mutations_of_shared_runs() {
+        let (g, mut p, _, _, bb) = small();
+        assert_eq!(p.cow_clone_count(), 0);
+        let snap = p.share_extent(bb);
+        assert_eq!(p.cow_clone_count(), 0, "sharing alone never clones");
+        // Unshared blocks keep mutating in place.
+        let b1 = p.extent(bb)[0];
+        let pairs = p.split_by_set(&g, &[b1]);
+        assert_eq!(pairs.len(), 1);
+        assert!(
+            p.cow_clone_count() >= 1,
+            "mutating a frozen block must clone its run"
+        );
+        assert_eq!(snap.len(), 2, "the frozen run keeps its pre-split content");
+        assert_eq!(p.size(bb), 1, "the live block moved on");
     }
 
     #[test]

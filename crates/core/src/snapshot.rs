@@ -13,6 +13,12 @@
 //! Format: a little-endian, length-prefixed encoding with a magic header
 //! and an integrity check on counts. Not designed for cross-version
 //! compatibility — version-stamped and rejected on mismatch.
+//!
+//! Not to be confused with [`crate::view`]: that module's
+//! [`crate::view::IndexSnapshot`] is an *in-memory read view* frozen in
+//! O(blocks) via copy-on-write extent sharing, never serialized. This
+//! module is *binary persistence* — bytes on disk, rebuilt on load. See
+//! DESIGN.md §11 for the naming rationale.
 
 use crate::akindex::AkIndex;
 use crate::oneindex::OneIndex;

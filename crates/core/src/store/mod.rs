@@ -23,15 +23,21 @@
 //!   the transient per-operation tables (splitter counts, partner
 //!   assignment) that used to be freshly allocated `HashMap`s on every
 //!   `split_by_set` call.
+//! * [`CowVec`] — `Arc`-shared extent runs with copy-on-write mutation,
+//!   the storage contract behind [`crate::view::IndexSnapshot`]: a
+//!   freeze shares every run in O(1) each, and the writer's next
+//!   mutation of a frozen block clones only that block's run.
 //!
 //! The [`StoreReport`] summarizes iedge-map representation state for the
 //! obs layer (inline vs spilled population, cumulative spill events,
 //! probe lengths).
 
+pub mod cow;
 pub mod iedge;
 pub mod scratch;
 pub mod slot;
 
+pub use cow::CowVec;
 pub use iedge::{IedgeMap, IedgeRepr};
 pub use scratch::ScratchTable;
 pub use slot::{SlotKey, SlotMap};

@@ -142,7 +142,7 @@ that names the bounding invariant.",
         severity: Severity::Deny,
         baselineable: false,
         waivable: true,
-        summary: "pub mutation entry points in engine/maintainers must feed the obs layer",
+        summary: "pub mutation/freeze entry points in engine/maintainers must feed the obs layer",
         explain: "\
 DESIGN.md §8's flight-recorder story is only as good as its coverage: \
 a mutation entry point that bypasses the observability layer produces \
@@ -152,7 +152,9 @@ checks every `pub fn` taking `&mut self` in `core/src/engine.rs`, \
 the function (signature or body) must reference the obs hub (`obs`, \
 `emit`, `observe_*`) or the `UpdateStats` phase counters \
 (`UpdateStats`, `stats`, `split_nanos`, `merge_nanos`, `queue_peak`, \
-`levels_touched`) that the hub exports.
+`levels_touched`) that the hub exports. Snapshot entry points (`pub fn \
+freeze*`) are checked regardless of receiver: a read-only freeze that \
+skips the hub silently loses the `snapshot_*` metric series.
 
 Pure delegators (e.g. a convenience wrapper that forwards to an \
 instrumented sibling) should carry a waiver naming the instrumented \

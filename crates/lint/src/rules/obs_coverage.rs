@@ -1,5 +1,8 @@
 //! `obs-coverage`: public mutation entry points in the engine and the
 //! two maintainers must feed the observability layer (DESIGN.md §8).
+//! Snapshot freezes are entry points too: any `pub fn freeze*` in a
+//! target file is checked *regardless of receiver* — a `&self` freeze
+//! that skips the hub would silently lose the `snapshot_*` series.
 //! See the registry entry in [`super::RULES`].
 
 use crate::lexer::{Tok, TokKind};
@@ -51,17 +54,26 @@ pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
             if !f.is_test_line(line) {
                 if let Some((body_open, body_close)) = fn_body_span(toks, i + 2) {
                     let sig = &toks[i + 3..body_open];
-                    if takes_mut_self(sig) {
+                    // Freeze entry points count whatever their receiver:
+                    // a read-only `freeze` still owes a SnapshotFreeze
+                    // emission or the snapshot_* series silently vanish.
+                    let is_freeze = name.starts_with("freeze");
+                    if takes_mut_self(sig) || is_freeze {
                         let covered = toks[i + 3..=body_close].iter().any(|t| {
                             t.kind == TokKind::Ident && OBS_TOKENS.contains(&t.text.as_str())
                         });
                         if !covered {
+                            let what = if is_freeze {
+                                format!("snapshot entry point `pub fn {name}(…)`")
+                            } else {
+                                format!("mutation entry point `pub fn {name}(&mut self, …)`")
+                            };
                             out.push(super::finding(
                                 f,
                                 "obs-coverage",
                                 line,
                                 format!(
-                                    "mutation entry point `pub fn {name}(&mut self, …)` never touches the \
+                                    "{what} never touches the \
                                      observability layer (no obs hub call, no UpdateStats phase counters); \
                                      instrument it or waive naming the instrumented delegate"
                                 ),
@@ -159,6 +171,21 @@ mod tests {
     #[test]
     fn obs_emit_counts_as_coverage() {
         let src = "impl E { pub fn mutate(&mut self) { self.obs.emit(x()); self.g.poke(); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn uninstrumented_freeze_flagged_even_on_shared_receiver() {
+        let src = "impl E { pub fn freeze(&self) -> Vec<Snap> { self.entries.iter().map(snap).collect() } }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("snapshot entry point"));
+        assert!(hits[0].message.contains("freeze"));
+    }
+
+    #[test]
+    fn instrumented_freeze_is_clean() {
+        let src = "impl E { pub fn freeze(&mut self) -> Vec<Snap> { let s = snap(); self.obs.emit(ev(&s)); s } }";
         assert!(lint(src).is_empty());
     }
 

@@ -33,4 +33,15 @@ impl Engine {
         let stats = n;
         self.stats_total += stats;
     }
+
+    // Freeze entry points are checked regardless of receiver: this
+    // `&self` freeze skips the hub, so obs-coverage must flag it.
+    pub fn freeze_uninstrumented(&self) -> u64 {
+        self.stats_total
+    }
+
+    pub fn freeze_instrumented(&self) -> u64 {
+        let stats = self.stats_total; // UpdateStats bookkeeping stand-in
+        stats
+    }
 }
