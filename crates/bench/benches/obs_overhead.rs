@@ -1,7 +1,7 @@
 //! Overhead of the observability layer on the engine's hot path
 //! (criterion-free, `xsi_bench::micro`).
 //!
-//! Four configurations, each timing the same insert+delete pair of a
+//! Five configurations, each timing the same insert+delete pair of a
 //! pooled IDREF edge against a 1-index:
 //!
 //! 1. `direct index` — no engine, no obs: the pre-engine baseline.
@@ -10,14 +10,23 @@
 //!    within noise of (1) plus the engine's own dispatch cost, because
 //!    every callsite is a single `is_active()` branch.
 //! 3. `engine / null recorder` — recorder installed but discarding;
-//!    exercises event construction + clock reads.
+//!    exercises event construction + clock reads. Span collection is
+//!    OFF here, so this also pins the self-overhead contract for the
+//!    span layer: every `SpanGuard::enter` in the hot path is one TLS
+//!    read + branch, no clock read, no allocation — (3) must stay
+//!    within noise of its pre-span-layer cost (compare against (2)'s
+//!    delta; DESIGN.md §12).
 //! 4. `engine / flight + metrics` — the full pipeline: ring buffer
 //!    retention and registry aggregation per event.
+//! 5. `engine / null recorder + spans` — span collection armed, tree
+//!    drained every 1024 pairs: the marginal cost of actually recording
+//!    the causal span tree on top of (3).
 //!
 //! Run with `cargo bench --features bench --bench obs_overhead`.
 //! Record the medians in EXPERIMENTS.md §observability when they move.
 
 use xsi_bench::micro::{bench, group};
+use xsi_core::obs::span;
 use xsi_core::{FlightRecorder, NullRecorder, OneIndex, UpdateEngine};
 use xsi_graph::{EdgeKind, Graph, NodeId};
 use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
@@ -95,4 +104,22 @@ fn main() {
         engine.insert_edge(u, v, EdgeKind::IdRef).unwrap();
         engine.delete_edge(u, v).unwrap();
     });
+
+    // 5. Null recorder with span collection armed: the live span tree.
+    // Drained every 1024 pairs so the collector Vec stays warm instead
+    // of measuring its growth reallocations.
+    let (mut engine, edges) = engine_with(Some(Box::new(NullRecorder)), false);
+    let mut i = 0usize;
+    span::begin_collection();
+    bench("pair / engine, null recorder + spans", || {
+        let (u, v) = edges[i % edges.len()];
+        i += 1;
+        engine.insert_edge(u, v, EdgeKind::IdRef).unwrap();
+        engine.delete_edge(u, v).unwrap();
+        if i % 1024 == 0 {
+            let _ = span::end_collection();
+            span::begin_collection();
+        }
+    });
+    let _ = span::end_collection();
 }

@@ -1,23 +1,31 @@
-//! `xsi-bench` — instrumented update-pipeline benchmark with metrics
-//! and trace export.
+//! `xsi-bench` — instrumented update-pipeline benchmark with metrics,
+//! trace, and span export.
 //!
 //! Drives a mixed insert/delete workload through the [`UpdateEngine`]
 //! with the observability layer enabled, then exports:
 //!
-//! * `--metrics-out <path>` — a BENCH_*.json-compatible summary object
-//!   embedding run metadata, engine stats, and the full metrics
-//!   registry (`format: "xsi-metrics-v1"`).
+//! * `--metrics-out <path>` — a summary object embedding run metadata,
+//!   engine stats, and the full metrics registry
+//!   (`format: "xsi-metrics-v1"`); store reports are published
+//!   automatically at the export point.
 //! * `--trace-out <path>` — the event stream as JSON Lines (one object
 //!   per event, streamed through [`JsonlWriter`]).
 //! * `--prom-out <path>` — Prometheus text exposition of the same
 //!   registry.
+//! * `--chrome-trace-out <path>` — the causal span tree as Chrome
+//!   trace-event JSON (open in Perfetto / `chrome://tracing`; see
+//!   EXPERIMENTS.md "Reading a span trace in Perfetto").
+//! * `--folded-out <path>` — the span tree as collapsed-stack folded
+//!   lines (pipe into flamegraph tooling), weighted by self nanos.
 //!
+//! Span collection is armed only when one of the span exports is
+//! requested, so plain metric runs keep the zero-cost disabled path.
 //! Validate the outputs offline with the sibling `xsi-metrics-check`
 //! binary.
 //!
 //! ```text
 //! cargo run --release -p xsi-bench --bin xsi_bench -- \
-//!     --scale 0.05 --pairs 2000 --metrics-out m.json --trace-out t.jsonl
+//!     --scale 0.05 --pairs 2000 --metrics-out m.json --chrome-trace-out t.json
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,10 +36,18 @@ use std::time::Instant;
 
 use xsi_bench::cli::Args;
 use xsi_core::obs::json::escape_into;
+use xsi_core::obs::{chrome_trace_json, folded_stacks, span, FoldWeight, SpanKind};
 use xsi_core::{AkIndex, FlightRecorder, JsonlWriter, OneIndex, PropagateOneIndex, UpdateEngine};
 use xsi_graph::EdgeKind;
 use xsi_workload::updates::EdgePool;
 use xsi_workload::xmark::{generate_xmark, XmarkParams};
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("xsi-bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args = Args::parse_env();
@@ -43,6 +59,8 @@ fn main() {
     let metrics_out = args.str("metrics-out").map(str::to_owned);
     let trace_out = args.str("trace-out").map(str::to_owned);
     let prom_out = args.str("prom-out").map(str::to_owned);
+    let chrome_out = args.str("chrome-trace-out").map(str::to_owned);
+    let folded_out = args.str("folded-out").map(str::to_owned);
 
     let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
     let mut pool = EdgePool::extract(&mut g, 0.2, seed);
@@ -58,9 +76,11 @@ fn main() {
     );
 
     let mut engine = UpdateEngine::new(g);
-    engine.register(Box::new(OneIndex::build(engine.graph())));
-    engine.register(Box::new(AkIndex::build(engine.graph(), k)));
-    engine.register(Box::new(PropagateOneIndex::build(engine.graph())));
+    let handles = [
+        engine.register(Box::new(OneIndex::build(engine.graph()))),
+        engine.register(Box::new(AkIndex::build(engine.graph(), k))),
+        engine.register(Box::new(PropagateOneIndex::build(engine.graph()))),
+    ];
 
     // Metrics always on for this binary; the recorder depends on flags.
     engine.obs_mut().enable_metrics();
@@ -79,6 +99,13 @@ fn main() {
         engine
             .obs_mut()
             .set_recorder(Box::new(FlightRecorder::new(flight_cap)));
+    }
+
+    // Arm span collection only when a span export was requested —
+    // otherwise every callsite stays on the disabled one-branch path.
+    let collect_spans = chrome_out.is_some() || folded_out.is_some();
+    if collect_spans {
+        span::begin_collection();
     }
 
     // Mixed workload: alternate insert/delete of pooled IDREF edges,
@@ -105,27 +132,66 @@ fn main() {
         applied as f64 / wall.as_secs_f64().max(1e-9)
     );
 
-    // Sample the dense-store representation state once at the export
-    // point: `store_*` gauges + the probe-length histogram per family.
-    engine.publish_store_reports();
     // Freeze every family once at the export point so the snapshot
     // series (snapshots_total, snapshot_freeze_nanos, snapshot_blocks,
     // snapshot_cow_clones) are populated; xsi-metrics-check requires
     // them. The snapshots themselves are dropped immediately.
     let _ = engine.freeze();
+
+    if collect_spans {
+        let tree = span::end_collection();
+        let families = engine.obs().families().to_vec();
+        // Accounting check for the span substrate: the sum of
+        // CompoundProcess durations (self + children) against the
+        // engine's recorded split+merge phase nanos, aggregated over
+        // every registered family.
+        let phase_nanos: u64 = handles
+            .iter()
+            .map(|&h| {
+                let s = engine.index_stats(h);
+                s.split_nanos + s.merge_nanos
+            })
+            .sum();
+        let compound_nanos = tree.kind_nanos(SpanKind::CompoundProcess);
+        let pct = if phase_nanos > 0 {
+            100.0 * compound_nanos as f64 / phase_nanos as f64
+        } else {
+            100.0
+        };
+        eprintln!(
+            "xsi-bench: {} spans ({} dropped); CompoundProcess covers {:.1}% of split/merge phase nanos",
+            tree.len(),
+            tree.dropped,
+            pct
+        );
+        if let Some(path) = chrome_out.as_deref() {
+            write_or_die(path, &chrome_trace_json(&tree, &families));
+            eprintln!("xsi-bench: wrote chrome trace to {path}");
+        }
+        if let Some(path) = folded_out.as_deref() {
+            write_or_die(
+                path,
+                &folded_stacks(&tree, &families, FoldWeight::SelfNanos),
+            );
+            eprintln!("xsi-bench: wrote folded stacks to {path}");
+        }
+    }
+
     engine.obs_mut().flush();
 
     if let Some(path) = prom_out.as_deref() {
         let text = engine.obs().metrics_prometheus();
-        if let Err(e) = std::fs::write(path, text) {
-            eprintln!("xsi-bench: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
+        write_or_die(path, &text);
         eprintln!("xsi-bench: wrote prometheus text to {path}");
     }
 
     if let Some(path) = metrics_out.as_deref() {
-        let metrics = engine.obs().metrics_json();
+        // `export_metrics_json` publishes store reports first, so the
+        // store_* gauges and probe-length histogram always land in the
+        // artifact (satellite: no more on-demand-only store telemetry).
+        let metrics = engine
+            .export_metrics_json()
+            .expect("invariant: metrics were enabled above");
         let stats = engine.stats();
         let mut out = String::new();
         out.push_str("{\n");
@@ -162,10 +228,7 @@ fn main() {
         out.push_str("  \"metrics\": ");
         out.push_str(&metrics);
         out.push_str("\n}\n");
-        if let Err(e) = std::fs::write(path, out) {
-            eprintln!("xsi-bench: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
+        write_or_die(path, &out);
         eprintln!("xsi-bench: wrote metrics to {path}");
     }
 

@@ -3,8 +3,13 @@
 //! reader and exits non-zero on the first violation.
 //!
 //! ```text
-//! xsi_metrics_check --metrics m.json [--trace t.jsonl] [--prom m.prom]
+//! xsi_metrics_check [--metrics m.json] [--trace t.jsonl] [--prom m.prom]
+//!                   [--chrome-trace t.json] [--bench BENCH.json]
 //! ```
+//!
+//! At least one input flag is required. `--chrome-trace` validates the
+//! span exporter's trace-event JSON (`xsi-chrome-trace-v1`); `--bench`
+//! validates a perf-trajectory record (`xsi-bench-trajectory-v1`).
 
 #![forbid(unsafe_code)]
 
@@ -20,22 +25,69 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = Args::parse_env();
-    let Some(metrics_path) = args.str("metrics") else {
-        return fail("--metrics <path> is required");
-    };
+    if ["metrics", "trace", "prom", "chrome-trace", "bench"]
+        .iter()
+        .all(|f| args.str(f).is_none())
+    {
+        return fail(
+            "nothing to check: pass --metrics / --trace / --prom / --chrome-trace / --bench",
+        );
+    }
 
+    if let Some(metrics_path) = args.str("metrics") {
+        if let Some(code) = check_metrics(metrics_path) {
+            return code;
+        }
+    }
+
+    // Optional JSONL trace: every line parses, carries the event keys,
+    // and seq is strictly increasing.
+    if let Some(trace_path) = args.str("trace") {
+        if let Some(code) = check_jsonl_trace(trace_path) {
+            return code;
+        }
+    }
+
+    // Optional Prometheus text: HELP/TYPE precede each series and every
+    // sample line carries the xsi_ prefix.
+    if let Some(prom_path) = args.str("prom") {
+        if let Some(code) = check_prometheus(prom_path) {
+            return code;
+        }
+    }
+
+    // Optional Chrome trace-event JSON from the span exporter.
+    if let Some(path) = args.str("chrome-trace") {
+        if let Some(code) = check_chrome_trace(path) {
+            return code;
+        }
+    }
+
+    // Optional perf-trajectory record from xsi_perf_smoke --bench-out.
+    if let Some(path) = args.str("bench") {
+        if let Some(code) = check_bench_record(path) {
+            return code;
+        }
+    }
+
+    ExitCode::SUCCESS
+}
+
+/// Validates the `xsi-metrics-v1` envelope + registry body; returns
+/// `Some(failure)` on the first violation, `None` when clean.
+fn check_metrics(metrics_path: &str) -> Option<ExitCode> {
     let text = match std::fs::read_to_string(metrics_path) {
         Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+        Err(e) => return Some(fail(&format!("cannot read {metrics_path}: {e}"))),
     };
     let v = match Json::parse(&text) {
         Ok(v) => v,
-        Err(e) => return fail(&format!("{metrics_path}: not valid JSON: {e}")),
+        Err(e) => return Some(fail(&format!("{metrics_path}: not valid JSON: {e}"))),
     };
 
     // Envelope keys written by xsi_bench.
     if v.get("format").and_then(Json::as_str) != Some("xsi-metrics-v1") {
-        return fail("format must be \"xsi-metrics-v1\"");
+        return Some(fail("format must be \"xsi-metrics-v1\""));
     }
     for key in [
         "bench",
@@ -54,40 +106,40 @@ fn main() -> ExitCode {
         "metrics",
     ] {
         if v.get(key).is_none() {
-            return fail(&format!("missing envelope key {key:?}"));
+            return Some(fail(&format!("missing envelope key {key:?}")));
         }
     }
     let Some(families) = v.get("families").and_then(Json::as_arr) else {
-        return fail("families must be an array");
+        return Some(fail("families must be an array"));
     };
     if families.is_empty() {
-        return fail("families array is empty");
+        return Some(fail("families array is empty"));
     }
 
     // Registry body: counters / gauges / histograms arrays with the
     // shapes `MetricsRegistry::to_json` promises.
     let Some(metrics) = v.get("metrics") else {
-        return fail("missing metrics object");
+        return Some(fail("missing metrics object"));
     };
     for section in ["counters", "gauges", "histograms"] {
         let Some(arr) = metrics.get(section).and_then(Json::as_arr) else {
-            return fail(&format!("metrics.{section} must be an array"));
+            return Some(fail(&format!("metrics.{section} must be an array")));
         };
         for (i, entry) in arr.iter().enumerate() {
             if entry.get("name").and_then(Json::as_str).is_none() {
-                return fail(&format!("metrics.{section}[{i}]: missing name"));
+                return Some(fail(&format!("metrics.{section}[{i}]: missing name")));
             }
             if section == "histograms" {
                 for k in ["count", "sum", "max", "p50", "p90", "p99"] {
                     if entry.get(k).and_then(Json::as_f64).is_none() {
-                        return fail(&format!(
+                        return Some(fail(&format!(
                             "metrics.{section}[{i}] ({}): missing {k}",
                             entry.get("name").and_then(Json::as_str).unwrap_or("?")
-                        ));
+                        )));
                     }
                 }
             } else if entry.get("value").and_then(Json::as_f64).is_none() {
-                return fail(&format!("metrics.{section}[{i}]: missing value"));
+                return Some(fail(&format!("metrics.{section}[{i}]: missing value")));
             }
         }
     }
@@ -96,7 +148,7 @@ fn main() -> ExitCode {
         .iter()
         .any(|c| c.get("name").and_then(Json::as_str) == Some("ops_total"));
     if !has_ops_total {
-        return fail("metrics.counters: no ops_total series");
+        return Some(fail("metrics.counters: no ops_total series"));
     }
     // xsi_bench freezes every family once at the export point, so the
     // snapshot series must be present in any conforming artifact.
@@ -104,16 +156,16 @@ fn main() -> ExitCode {
         .iter()
         .any(|c| c.get("name").and_then(Json::as_str) == Some("snapshots_total"));
     if !has_snapshots_total {
-        return fail("metrics.counters: no snapshots_total series");
+        return Some(fail("metrics.counters: no snapshots_total series"));
     }
     let Some(histograms) = metrics.get("histograms").and_then(Json::as_arr) else {
-        return fail("metrics.histograms must be an array");
+        return Some(fail("metrics.histograms must be an array"));
     };
     let has_freeze_nanos = histograms
         .iter()
         .any(|h| h.get("name").and_then(Json::as_str) == Some("snapshot_freeze_nanos"));
     if !has_freeze_nanos {
-        return fail("metrics.histograms: no snapshot_freeze_nanos series");
+        return Some(fail("metrics.histograms: no snapshot_freeze_nanos series"));
     }
     println!(
         "xsi-metrics-check: {metrics_path}: ok ({} counters, {} gauges, {} histograms)",
@@ -125,80 +177,271 @@ fn main() -> ExitCode {
             .unwrap()
             .len()
     );
+    None
+}
 
-    // Optional JSONL trace: every line parses, carries the event keys,
-    // and seq is strictly increasing.
-    if let Some(trace_path) = args.str("trace") {
-        let text = match std::fs::read_to_string(trace_path) {
-            Ok(t) => t,
-            Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
-        };
-        let mut last_seq: Option<u64> = None;
-        let mut lines = 0usize;
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let Ok(ev) = Json::parse(line) else {
-                return fail(&format!("{trace_path}:{}: not valid JSON", i + 1));
-            };
-            let Some(seq) = ev.get("seq").and_then(Json::as_u64) else {
-                return fail(&format!("{trace_path}:{}: missing seq", i + 1));
-            };
-            if ev.get("callsite").and_then(Json::as_u64).is_none() {
-                return fail(&format!("{trace_path}:{}: missing callsite", i + 1));
-            }
-            if ev.get("kind").and_then(Json::as_str).is_none() {
-                return fail(&format!("{trace_path}:{}: missing kind", i + 1));
-            }
-            if let Some(prev) = last_seq {
-                if seq <= prev {
-                    return fail(&format!(
-                        "{trace_path}:{}: seq {seq} not increasing (prev {prev})",
-                        i + 1
-                    ));
-                }
-            }
-            last_seq = Some(seq);
-            lines += 1;
+/// Validates a JSONL event trace: every line parses, carries the event
+/// keys, and `seq` is strictly increasing.
+fn check_jsonl_trace(trace_path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {trace_path}: {e}"))),
+    };
+    let mut last_seq: Option<u64> = None;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
         }
-        if lines == 0 {
-            return fail(&format!("{trace_path}: empty trace"));
-        }
-        println!("xsi-metrics-check: {trace_path}: ok ({lines} events)");
-    }
-
-    // Optional Prometheus text: HELP/TYPE precede each series and every
-    // sample line carries the xsi_ prefix.
-    if let Some(prom_path) = args.str("prom") {
-        let text = match std::fs::read_to_string(prom_path) {
-            Ok(t) => t,
-            Err(e) => return fail(&format!("cannot read {prom_path}: {e}")),
+        let Ok(ev) = Json::parse(line) else {
+            return Some(fail(&format!("{trace_path}:{}: not valid JSON", i + 1)));
         };
-        let mut samples = 0usize;
-        for (i, line) in text.lines().enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix("# ") {
-                if !(rest.starts_with("HELP xsi_") || rest.starts_with("TYPE xsi_")) {
-                    return fail(&format!("{prom_path}:{}: bad comment line", i + 1));
-                }
-                continue;
-            }
-            if !line.starts_with("xsi_") {
-                return fail(&format!(
-                    "{prom_path}:{}: sample without xsi_ prefix",
+        let Some(seq) = ev.get("seq").and_then(Json::as_u64) else {
+            return Some(fail(&format!("{trace_path}:{}: missing seq", i + 1)));
+        };
+        if ev.get("callsite").and_then(Json::as_u64).is_none() {
+            return Some(fail(&format!("{trace_path}:{}: missing callsite", i + 1)));
+        }
+        if ev.get("kind").and_then(Json::as_str).is_none() {
+            return Some(fail(&format!("{trace_path}:{}: missing kind", i + 1)));
+        }
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Some(fail(&format!(
+                    "{trace_path}:{}: seq {seq} not increasing (prev {prev})",
                     i + 1
-                ));
+                )));
             }
-            samples += 1;
         }
-        if samples == 0 {
-            return fail(&format!("{prom_path}: no samples"));
-        }
-        println!("xsi-metrics-check: {prom_path}: ok ({samples} samples)");
+        last_seq = Some(seq);
+        lines += 1;
     }
+    if lines == 0 {
+        return Some(fail(&format!("{trace_path}: empty trace")));
+    }
+    println!("xsi-metrics-check: {trace_path}: ok ({lines} events)");
+    None
+}
 
-    ExitCode::SUCCESS
+/// Validates Prometheus exposition text: HELP/TYPE precede each series
+/// and every sample line carries the xsi_ prefix.
+fn check_prometheus(prom_path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(prom_path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {prom_path}: {e}"))),
+    };
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if !(rest.starts_with("HELP xsi_") || rest.starts_with("TYPE xsi_")) {
+                return Some(fail(&format!("{prom_path}:{}: bad comment line", i + 1)));
+            }
+            continue;
+        }
+        if !line.starts_with("xsi_") {
+            return Some(fail(&format!(
+                "{prom_path}:{}: sample without xsi_ prefix",
+                i + 1
+            )));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Some(fail(&format!("{prom_path}: no samples")));
+    }
+    println!("xsi-metrics-check: {prom_path}: ok ({samples} samples)");
+    None
+}
+
+/// Validates the span exporter's Chrome trace-event JSON
+/// (`xsi-chrome-trace-v1`):
+///
+/// * envelope keys (`displayTimeUnit`, `otherData.format`,
+///   `traceEvents`) are present;
+/// * every event is a complete (`ph == "X"`) event with the exporter's
+///   `args` payload (`id`, `parent`, `ts_ns`, `dur_ns`);
+/// * ids are the 1-based emission order (open order), so `ts_ns` must
+///   be monotonically non-decreasing across the array;
+/// * every parent id references an earlier event, and each parent span
+///   fully accounts for its children: `dur_ns` >= sum of direct
+///   children's `dur_ns` (a child outliving its parent means the RAII
+///   guards closed out of order).
+fn check_chrome_trace(path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {path}: {e}"))),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Some(fail(&format!("{path}: not valid JSON: {e}"))),
+    };
+    if v.get("displayTimeUnit").and_then(Json::as_str).is_none() {
+        return Some(fail(&format!("{path}: missing displayTimeUnit")));
+    }
+    let format = v
+        .get("otherData")
+        .and_then(|o| o.get("format"))
+        .and_then(Json::as_str);
+    if format != Some("xsi-chrome-trace-v1") {
+        return Some(fail(&format!(
+            "{path}: otherData.format must be \"xsi-chrome-trace-v1\""
+        )));
+    }
+    let Some(events) = v.get("traceEvents").and_then(Json::as_arr) else {
+        return Some(fail(&format!("{path}: missing traceEvents array")));
+    };
+    if events.is_empty() {
+        return Some(fail(&format!("{path}: empty traceEvents")));
+    }
+    // Pass 1: shape + monotonic ts + id ordering; collect (ts, dur,
+    // parent) per event for the accounting pass.
+    let mut spans: Vec<(u64, u64, u64)> = Vec::with_capacity(events.len());
+    let mut last_ts = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["name", "cat", "ph", "pid", "tid", "ts", "dur", "args"] {
+            if ev.get(key).is_none() {
+                return Some(fail(&format!("{path}: traceEvents[{i}]: missing {key}")));
+            }
+        }
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: ph must be \"X\" (complete event)"
+            )));
+        }
+        let Some(ev_args) = ev.get("args") else {
+            return Some(fail(&format!("{path}: traceEvents[{i}]: missing args")));
+        };
+        let arg = |key: &str| ev_args.get(key).and_then(Json::as_u64);
+        let (Some(id), Some(parent), Some(ts), Some(dur)) =
+            (arg("id"), arg("parent"), arg("ts_ns"), arg("dur_ns"))
+        else {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: args must carry id/parent/ts_ns/dur_ns"
+            )));
+        };
+        if id != (i + 1) as u64 {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: id {id} out of emission order (want {})",
+                i + 1
+            )));
+        }
+        if parent >= id {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: parent {parent} does not precede id {id}"
+            )));
+        }
+        if ts < last_ts {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: ts_ns {ts} < previous {last_ts} (not monotonic)"
+            )));
+        }
+        if dur == 0 {
+            return Some(fail(&format!("{path}: traceEvents[{i}]: zero dur_ns")));
+        }
+        last_ts = ts;
+        spans.push((ts, dur, parent));
+    }
+    // Pass 2: parents account for their children.
+    let mut child_nanos = vec![0u64; spans.len() + 1];
+    for &(_, dur, parent) in &spans {
+        if parent > 0 {
+            if let Some(slot) = child_nanos.get_mut(parent as usize) {
+                *slot += dur;
+            }
+        }
+    }
+    for (i, &(_, dur, _)) in spans.iter().enumerate() {
+        let children = child_nanos.get(i + 1).copied().unwrap_or(0);
+        if dur < children {
+            return Some(fail(&format!(
+                "{path}: traceEvents[{i}]: dur_ns {dur} < children total {children}"
+            )));
+        }
+    }
+    println!("xsi-metrics-check: {path}: ok ({} spans)", spans.len());
+    None
+}
+
+/// Validates a perf-trajectory record (`xsi-bench-trajectory-v1`) from
+/// `xsi_perf_smoke --bench-out`: schema tag, a non-empty `benches`
+/// array, the per-bench required keys, and p90 >= median per bench.
+fn check_bench_record(path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {path}: {e}"))),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Some(fail(&format!("{path}: not valid JSON: {e}"))),
+    };
+    if v.get("schema").and_then(Json::as_str) != Some("xsi-bench-trajectory-v1") {
+        return Some(fail(&format!(
+            "{path}: schema must be \"xsi-bench-trajectory-v1\""
+        )));
+    }
+    for key in ["scale", "seed"] {
+        if v.get(key).and_then(Json::as_f64).is_none() {
+            return Some(fail(&format!("{path}: missing numeric {key}")));
+        }
+    }
+    let Some(benches) = v.get("benches").and_then(Json::as_arr) else {
+        return Some(fail(&format!("{path}: missing benches array")));
+    };
+    if benches.is_empty() {
+        return Some(fail(&format!("{path}: empty benches array")));
+    }
+    for (i, b) in benches.iter().enumerate() {
+        let Some(name) = b.get("name").and_then(Json::as_str) else {
+            return Some(fail(&format!("{path}: benches[{i}]: missing name")));
+        };
+        for key in [
+            "tier",
+            "median_ns",
+            "p90_ns",
+            "min_ns",
+            "max_ns",
+            "iters",
+            "noise_pct",
+        ] {
+            if b.get(key).and_then(Json::as_f64).is_none() {
+                return Some(fail(&format!(
+                    "{path}: benches[{i}] ({name}): missing numeric {key}"
+                )));
+            }
+        }
+        let Some(counters) = b.get("counters") else {
+            return Some(fail(&format!(
+                "{path}: benches[{i}] ({name}): missing counters object"
+            )));
+        };
+        for key in [
+            "spans",
+            "compound_process",
+            "kernel_scans",
+            "blocks",
+            "elems",
+        ] {
+            if counters.get(key).and_then(Json::as_u64).is_none() {
+                return Some(fail(&format!(
+                    "{path}: benches[{i}] ({name}): counters missing {key}"
+                )));
+            }
+        }
+        let num = |key: &str| b.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        if num("p90_ns") < num("median_ns") {
+            return Some(fail(&format!(
+                "{path}: benches[{i}] ({name}): p90_ns below median_ns"
+            )));
+        }
+        if num("min_ns") > num("median_ns") || num("max_ns") < num("median_ns") {
+            return Some(fail(&format!(
+                "{path}: benches[{i}] ({name}): median outside [min, max]"
+            )));
+        }
+    }
+    println!("xsi-metrics-check: {path}: ok ({} benches)", benches.len());
+    None
 }

@@ -1,5 +1,5 @@
 //! `xsi_perf_smoke` — the CI perf-smoke harness: a split/merge-heavy
-//! micro-benchmark over the data-plane hot path, with a JSON artifact so
+//! micro-benchmark over the data-plane hot path, with JSON artifacts so
 //! the perf trajectory has a recorded baseline (EXPERIMENTS.md, "Perf
 //! smoke").
 //!
@@ -14,8 +14,16 @@
 //! * `1index_build` / `ak3_build`: Paige–Tarjan refinement from scratch
 //!   (pure splitter-scan throughput).
 //!
-//! Usage: `xsi_perf_smoke [--scale 0.05] [--seed 42] [--json out.json]`.
-//! Not a statistics suite — medians of 11 batches via `micro::bench`,
+//! Usage: `xsi_perf_smoke [--scale 0.05] [--seed 42] [--json out.json]
+//! [--bench-out BENCH.json] [--metrics-out m.json]`.
+//!
+//! `--bench-out` writes the versioned trajectory record
+//! (`xsi-bench-trajectory-v1`): per bench, median/p90/min/max ns, a
+//! per-bench noise threshold, and key span counters from one separate
+//! instrumented pass (timing batches run with span collection OFF, so
+//! the numbers keep the zero-cost disabled path). `xsi_perf_diff`
+//! compares two such records; CI gates on the committed
+//! `BENCH_baseline.json`. Medians of 11 batches via `micro::bench` —
 //! honest but container-noisy; compare trends, not single digits.
 
 #![forbid(unsafe_code)]
@@ -24,6 +32,7 @@ use std::sync::Arc;
 
 use xsi_bench::micro::{bench_value, group, MicroResult};
 use xsi_bench::Args;
+use xsi_core::obs::span::{self, SpanKind, SpanTree};
 use xsi_core::{AkIndex, OneIndex, StructuralIndex, UpdateEngine};
 use xsi_graph::{EdgeKind, Graph, NodeId};
 use xsi_query::{eval_index_raw, PathExpr};
@@ -32,6 +41,52 @@ use xsi_workload::{generate_xmark, EdgePool, XmarkParams};
 /// The frozen-view benchmark query; hits the xmark vocabulary so the
 /// walk touches real extents instead of short-circuiting on a miss.
 const FROZEN_QUERY: &str = "//item//name";
+
+/// Tier-1 benches: the split/merge hot path the CI regression gate
+/// fails on. Everything else is tier 2 (tracked, warn-only).
+const TIER1: [&str; 4] = ["1index_pair", "ak3_pair", "1index_build", "ak3_build"];
+
+/// Key span counters from one instrumented execution of a bench
+/// closure — workload shape, not timing (deterministic under a fixed
+/// seed, unlike the nanos they ride along with).
+#[derive(Clone, Copy, Default)]
+struct SpanSummary {
+    spans: u64,
+    compound_process: u64,
+    kernel_scans: u64,
+    blocks: u64,
+    elems: u64,
+}
+
+fn summarize(tree: &SpanTree) -> SpanSummary {
+    let compound = tree.kind_counters(SpanKind::CompoundProcess);
+    let scans = tree.kind_counters(SpanKind::KernelScan);
+    SpanSummary {
+        spans: tree.len() as u64,
+        compound_process: tree.kind_count(SpanKind::CompoundProcess) as u64,
+        kernel_scans: tree.kind_count(SpanKind::KernelScan) as u64,
+        blocks: compound.blocks + scans.blocks,
+        elems: compound.elems + scans.elems,
+    }
+}
+
+/// Runs `f` once with span collection armed and summarizes the tree.
+fn instrumented<R>(f: &mut impl FnMut() -> R) -> SpanSummary {
+    span::begin_collection();
+    std::hint::black_box(f());
+    summarize(&span::end_collection())
+}
+
+/// Per-bench noise threshold for `xsi_perf_diff`, as a percentage of
+/// the median: half the observed min→max batch spread, clamped to
+/// [5%, 40%] so a lucky tight run cannot make the gate hair-trigger
+/// and a noisy one cannot disable it.
+fn noise_pct(r: &MicroResult) -> f64 {
+    if r.median_ns <= 0.0 {
+        return 40.0;
+    }
+    (50.0 * (r.max_ns - r.min_ns) / r.median_ns).clamp(5.0, 40.0)
+}
 
 fn setup(scale: f64, seed: u64) -> (Graph, Vec<(NodeId, NodeId)>) {
     let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
@@ -47,57 +102,98 @@ fn setup(scale: f64, seed: u64) -> (Graph, Vec<(NodeId, NodeId)>) {
     (g, edges)
 }
 
+fn write_artifact(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("xsi_perf_smoke: write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("{what} written to {path}");
+}
+
 fn main() {
     let args = Args::parse_env();
     let scale = args.f64("scale", 0.05);
     let seed = args.u64("seed", 42);
 
-    // Fail fast on an unwritable --json destination instead of burning the
-    // full benchmark run first; CI points this at target/perf which may not
+    // Fail fast on unwritable destinations instead of burning the full
+    // benchmark run first; CI points these at target/perf which may not
     // exist yet.
-    if let Some(path) = args.str("json") {
-        if let Some(dir) = std::path::Path::new(&path)
-            .parent()
-            .filter(|d| !d.as_os_str().is_empty())
-        {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("xsi_perf_smoke: cannot create {}: {e}", dir.display());
-                std::process::exit(2);
+    for flag in ["json", "bench-out", "metrics-out"] {
+        if let Some(path) = args.str(flag) {
+            if let Some(dir) = std::path::Path::new(&path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("xsi_perf_smoke: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
             }
         }
     }
+    let want_counters = args.str("bench-out").is_some();
 
-    let mut results: Vec<MicroResult> = Vec::new();
+    let mut results: Vec<(MicroResult, SpanSummary)> = Vec::new();
     group(&format!("perf_smoke / xmark(scale={scale}, seed={seed})"));
 
     {
         let (mut g, edges) = setup(scale, seed);
         let mut idx = OneIndex::build(&g);
         let mut i = 0usize;
-        results.push(bench_value("1index_pair", || {
+        let mut work = || {
             let (u, v) = edges[i % edges.len()]; // xsi-lint: allow(slice-index, i mod len is in range)
             i += 1;
             idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
             idx.delete_edge(&mut g, u, v).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
-        }));
+        };
+        let r = bench_value("1index_pair", &mut work);
+        let c = if want_counters {
+            instrumented(&mut work)
+        } else {
+            SpanSummary::default()
+        };
+        results.push((r, c));
     }
     {
         let (mut g, edges) = setup(scale, seed);
         let mut idx = AkIndex::build(&g, 3);
         let mut i = 0usize;
-        results.push(bench_value("ak3_pair", || {
+        let mut work = || {
             let (u, v) = edges[i % edges.len()]; // xsi-lint: allow(slice-index, i mod len is in range)
             i += 1;
             idx.insert_edge(&mut g, u, v, EdgeKind::IdRef).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
             idx.delete_edge(&mut g, u, v).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
-        }));
+        };
+        let r = bench_value("ak3_pair", &mut work);
+        let c = if want_counters {
+            instrumented(&mut work)
+        } else {
+            SpanSummary::default()
+        };
+        results.push((r, c));
     }
     {
         let (g, _) = setup(scale, seed);
-        results.push(bench_value("1index_build", || OneIndex::build(&g)));
-        results.push(bench_value("ak3_build", || AkIndex::build(&g, 3)));
+        let mut build1 = || OneIndex::build(&g);
+        let r = bench_value("1index_build", &mut build1);
+        let c = if want_counters {
+            instrumented(&mut build1)
+        } else {
+            SpanSummary::default()
+        };
+        results.push((r, c));
+        let mut build_ak = || AkIndex::build(&g, 3);
+        let r = bench_value("ak3_build", &mut build_ak);
+        let c = if want_counters {
+            instrumented(&mut build_ak)
+        } else {
+            SpanSummary::default()
+        };
+        results.push((r, c));
     }
-    {
+    // Engine for the freeze bench; kept alive to the end of main so the
+    // --metrics-out export (store reports included) can reuse it.
+    let mut engine = {
         // Freeze cost: O(blocks) Arc bumps per family, no extent copies
         // (the dropped snapshots decref the same Arcs — both sides of
         // the copy-on-write contract are in the loop).
@@ -105,8 +201,19 @@ fn main() {
         let mut engine = UpdateEngine::new(g);
         engine.register(Box::new(OneIndex::build(engine.graph())));
         engine.register(Box::new(AkIndex::build(engine.graph(), 3)));
-        results.push(bench_value("snapshot_freeze", || engine.freeze()));
-    }
+        if args.str("metrics-out").is_some() {
+            engine.obs_mut().enable_metrics();
+        }
+        let mut work = || engine.freeze();
+        let r = bench_value("snapshot_freeze", &mut work);
+        let c = if want_counters {
+            instrumented(&mut work)
+        } else {
+            SpanSummary::default()
+        };
+        results.push((r, c));
+        engine
+    };
     {
         // Query evaluation over a frozen view: the raw block walk on
         // owned data, no live graph or index in sight.
@@ -116,7 +223,10 @@ fn main() {
             .freeze(&g)
             .expect("invariant: the 1-index supports freeze");
         let expr = PathExpr::parse(FROZEN_QUERY).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
-        results.push(bench_value("frozen_query", || eval_index_raw(&snap, &expr)));
+        results.push((
+            bench_value("frozen_query", || eval_index_raw(&snap, &expr)),
+            SpanSummary::default(),
+        ));
     }
     {
         // Reader throughput: 4 threads answering the same query over one
@@ -127,29 +237,34 @@ fn main() {
             idx.freeze(&g)
                 .expect("invariant: the 1-index supports freeze"),
         );
-        results.push(bench_value("frozen_reader_throughput", || {
-            let readers: Vec<_> = (0..4)
-                .map(|_| {
-                    let snap = Arc::clone(&snap);
-                    std::thread::spawn(move || {
-                        let expr = PathExpr::parse(FROZEN_QUERY).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
-                        eval_index_raw(&*snap, &expr).len()
+        results.push((
+            bench_value("frozen_reader_throughput", || {
+                let readers: Vec<_> = (0..4)
+                    .map(|_| {
+                        let snap = Arc::clone(&snap);
+                        std::thread::spawn(move || {
+                            let expr = PathExpr::parse(FROZEN_QUERY).unwrap(); // xsi-lint: allow(panic-unwrap, bench harness aborts loudly on a broken workload)
+                            eval_index_raw(&*snap, &expr).len()
+                        })
                     })
-                })
-                .collect();
-            readers
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("invariant: frozen-view readers never panic")
-                })
-                .sum::<usize>()
-        }));
+                    .collect();
+                readers
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .expect("invariant: frozen-view readers never panic")
+                    })
+                    .sum::<usize>()
+            }),
+            SpanSummary::default(),
+        ));
     }
 
     if let Some(path) = args.str("json") {
+        // Legacy flat record (xsi-perf-smoke-v1), kept for downstream
+        // scripts that predate the trajectory schema.
         let mut out = String::from("{\"benchmarks\":[");
-        for (i, r) in results.iter().enumerate() {
+        for (i, (r, _)) in results.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -161,10 +276,54 @@ fn main() {
         out.push_str(&format!(
             "],\"scale\":{scale},\"seed\":{seed},\"schema\":\"xsi-perf-smoke-v1\"}}\n"
         ));
-        if let Err(e) = std::fs::write(path, out) {
-            eprintln!("xsi_perf_smoke: write {path}: {e}");
-            std::process::exit(2);
+        write_artifact(path, &out, "perf-smoke JSON");
+    }
+
+    if let Some(path) = args.str("bench-out") {
+        let mut out = String::from("{\n  \"schema\": \"xsi-bench-trajectory-v1\",\n");
+        out.push_str(&format!("  \"scale\": {scale},\n  \"seed\": {seed},\n"));
+        out.push_str("  \"benches\": [\n");
+        for (i, (r, c)) in results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tier = if TIER1.contains(&r.name.as_str()) {
+                1
+            } else {
+                2
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"tier\": {tier}, \"median_ns\": {:.0}, \"p90_ns\": {:.0}, \
+                 \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iters\": {}, \"noise_pct\": {:.1}, \
+                 \"counters\": {{\"spans\": {}, \"compound_process\": {}, \"kernel_scans\": {}, \
+                 \"blocks\": {}, \"elems\": {}}}}}",
+                r.name,
+                r.median_ns,
+                r.p90_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters,
+                noise_pct(r),
+                c.spans,
+                c.compound_process,
+                c.kernel_scans,
+                c.blocks,
+                c.elems,
+            ));
         }
-        eprintln!("perf-smoke JSON written to {path}");
+        out.push_str("\n  ]\n}\n");
+        write_artifact(path, &out, "trajectory record");
+    }
+
+    if let Some(path) = args.str("metrics-out") {
+        // Store reports are published inside export_metrics_json, so
+        // probe-length/spill telemetry always lands in the artifact.
+        match engine.export_metrics_json() {
+            Some(metrics) => write_artifact(path, &metrics, "metrics registry"),
+            None => {
+                eprintln!("xsi_perf_smoke: metrics were not enabled (internal flag ordering bug)");
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -24,6 +24,10 @@ pub struct MicroResult {
     pub name: String,
     /// Median ns/iteration over the measured batches.
     pub median_ns: f64,
+    /// 90th-percentile batch, ns/iteration (nearest-rank over the
+    /// sorted batch samples) — the tail the trajectory record tracks
+    /// alongside the median.
+    pub p90_ns: f64,
     /// Fastest batch, ns/iteration.
     pub min_ns: f64,
     /// Slowest batch, ns/iteration.
@@ -69,14 +73,17 @@ pub fn bench_value<R>(name: &str, mut f: impl FnMut() -> R) -> MicroResult {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
     let median = samples[samples.len() / 2];
+    // Nearest-rank p90: ceil(0.9 · n) − 1, clamped (index 9 of 11).
+    let p90 = samples[((samples.len() * 9).div_ceil(10) - 1).min(samples.len() - 1)]; // xsi-lint: allow(slice-index, index is clamped to len - 1)
     let (lo, hi) = (samples[0], samples[samples.len() - 1]);
     println!(
-        "{name:<56} {:>12} ns/iter (min {lo:.0}, max {hi:.0}, {iters} iters/batch)",
+        "{name:<56} {:>12} ns/iter (min {lo:.0}, p90 {p90:.0}, max {hi:.0}, {iters} iters/batch)",
         format!("{median:.0}")
     );
     MicroResult {
         name: name.to_string(),
         median_ns: median,
+        p90_ns: p90,
         min_ns: lo,
         max_ns: hi,
         iters,

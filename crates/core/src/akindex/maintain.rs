@@ -38,6 +38,7 @@
 
 use super::{ABlockId, AkIndex};
 use crate::kernel::{self, CompoundQueue, MergeDriver, SplitDriver};
+use crate::obs::span::{SpanGuard, SpanKind};
 use crate::stats::UpdateStats;
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
 
@@ -103,6 +104,7 @@ impl AkIndex {
     /// Inserts the dedge `(u, v)` and maintains the A(0)..A(k) chain
     /// (Figure 7). Returns per-update statistics (block counts refer to
     /// the level-k index).
+    // xsi-lint: allow(span-coverage, delegates to update_levels, which opens the Split/Merge spans)
     pub fn insert_edge(
         &mut self,
         g: &mut Graph,
@@ -119,6 +121,7 @@ impl AkIndex {
     }
 
     /// Deletes the dedge `(u, v)` and maintains the chain.
+    // xsi-lint: allow(span-coverage, delegates to update_levels, which opens the Split/Merge spans)
     pub fn delete_edge(
         &mut self,
         g: &mut Graph,
@@ -133,6 +136,7 @@ impl AkIndex {
 
     /// Deletes a node and all of its incident edges, maintaining the
     /// chain throughout. The node must not be the root.
+    // xsi-lint: allow(span-coverage, delegates per incident edge to update_levels, which opens the spans)
     pub fn delete_node(&mut self, g: &mut Graph, n: NodeId) -> Result<UpdateStats, GraphError> {
         let mut stats = UpdateStats {
             no_op: false,
@@ -157,6 +161,7 @@ impl AkIndex {
     /// Maintenance hook for an edge insertion already applied to `g` by
     /// the caller — for running several indexes over one graph. Equivalent
     /// to [`AkIndex::insert_edge`] minus the graph mutation.
+    // xsi-lint: allow(span-coverage, delegates to update_levels, which opens the Split/Merge spans)
     pub fn notify_edge_inserted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
         debug_assert!(g.has_edge(u, v), "notify before mutating the graph");
         let j0 = self.affected_from(g, u, v, true);
@@ -166,6 +171,7 @@ impl AkIndex {
 
     /// Maintenance hook for an edge deletion already applied to `g` by
     /// the caller; see [`AkIndex::notify_edge_inserted`].
+    // xsi-lint: allow(span-coverage, delegates to update_levels, which opens the Split/Merge spans)
     pub fn notify_edge_deleted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
         debug_assert!(!g.has_edge(u, v), "notify after mutating the graph");
         self.unregister_edge(u, v);
@@ -215,19 +221,37 @@ impl AkIndex {
         // Refinement-chain accounting for the observability layer: the
         // update touches ranks j0 ..= k of the A(0)..A(k) chain.
         stats.levels_touched = self.k() - j0 + 1;
-        let split_t = std::time::Instant::now();
-        let mut cq = CompoundQueue::new(self.k() + 1);
+        {
+            // Span covers exactly the region timed into split_nanos.
+            let sp = SpanGuard::enter(SpanKind::Split);
+            let split_t = std::time::Instant::now();
+            let mut cq = CompoundQueue::new(self.k() + 1);
 
-        // Initial splits: single v out of its inode at levels j0..k, then
-        // propagate lowest-level compound first.
-        self.split_levels_by(g, &[v], j0 - 1, &mut cq, &mut stats);
-        kernel::process_compounds(self, g, &mut cq, &mut stats);
-        stats.intermediate_blocks = self.block_count();
-        stats.split_nanos = split_t.elapsed().as_nanos() as u64;
+            // Initial splits: single v out of its inode at levels j0..k,
+            // then propagate lowest-level compound first. The seeding
+            // sweep is the phase's first work item (O(deg·k) across the
+            // chain — a real slice of the split clock); its span closes
+            // before process_compounds so CompoundProcess never
+            // self-nests.
+            {
+                let seed = SpanGuard::enter(SpanKind::CompoundProcess);
+                self.split_levels_by(g, &[v], j0 - 1, &mut cq, &mut stats);
+                seed.add_blocks(stats.splits as u64);
+                seed.set_queue_depth(cq.work_size() as u64);
+            }
+            kernel::process_compounds(self, g, &mut cq, &mut stats);
+            stats.intermediate_blocks = self.block_count();
+            stats.split_nanos = split_t.elapsed().as_nanos() as u64;
+            sp.add_blocks(stats.splits as u64);
+            sp.set_queue_depth(stats.queue_peak as u64);
+        }
 
+        let sp = SpanGuard::enter(SpanKind::Merge);
         let merge_t = std::time::Instant::now();
         self.merge_phase(v, j0, &mut stats);
         stats.merge_nanos = merge_t.elapsed().as_nanos() as u64;
+        sp.add_blocks(stats.merges as u64);
+        drop(sp);
         stats.final_blocks = self.block_count();
         stats
     }
@@ -366,6 +390,10 @@ impl AkIndex {
     fn merge_phase(&mut self, v: NodeId, j0: usize, stats: &mut UpdateStats) {
         let k = self.k();
         for j in j0..=k {
+            // Per-level sibling search is one merge work item; the span
+            // closes before merge_fold (whose served blocks open their
+            // own CompoundProcess spans) so the kind never self-nests.
+            let sp = SpanGuard::enter(SpanKind::CompoundProcess);
             let bv = self.block_of_at(v, j);
             let parent = self
                 .tree_parent(bv)
@@ -374,8 +402,13 @@ impl AkIndex {
                 .tree_children(parent)
                 .find(|&s| s != bv && self.same_cross_parents(s, bv));
             if let Some(s) = sibling {
+                let m = SpanGuard::enter(SpanKind::Merge);
+                m.add_blocks(2);
+                sp.add_blocks(2);
                 let merged = self.merge_pair(s, bv);
                 stats.merges += 1;
+                drop(m);
+                drop(sp);
                 if self.level(merged) < k {
                     kernel::merge_fold(self, merged, stats);
                 }
@@ -396,6 +429,7 @@ impl AkIndex {
 
     /// Registers a freshly added, edge-free node: it joins (or founds) the
     /// chain of parentless blocks with its label, preserving minimality.
+    // xsi-lint: allow(span-coverage, no kernel work; the engine-level caller opens the Op/IndexDispatch spans)
     // xsi-lint: allow(obs-coverage, O(k) bookkeeping with no split/merge work; the engine-level caller times it)
     pub fn on_node_added(&mut self, g: &Graph, n: NodeId) {
         self.ensure_capacity(g);
@@ -433,6 +467,7 @@ impl AkIndex {
 
     /// Unregisters a node about to be removed (must be edge-free; call
     /// before `Graph::remove_node`).
+    // xsi-lint: allow(span-coverage, no kernel work; the engine-level caller opens the Op/IndexDispatch spans)
     // xsi-lint: allow(obs-coverage, O(k) bookkeeping with no split/merge work; the engine-level caller times it)
     pub fn on_node_removing(&mut self, g: &Graph, n: NodeId) {
         debug_assert_eq!(g.in_degree(n) + g.out_degree(n), 0);

@@ -24,6 +24,7 @@
 use crate::akindex::AkIndex;
 use crate::index::StructuralIndex;
 use crate::obs::event::{BatchSegment, EventPayload, IndexFamily, OpKind};
+use crate::obs::span::{SpanGuard, SpanKind};
 use crate::obs::ObsHub;
 use crate::oneindex::OneIndex;
 use crate::stats::UpdateStats;
@@ -199,24 +200,30 @@ fn observe_edge_fanout(
     if active {
         obs.emit(EventPayload::OpReceived { op });
     }
+    let op_span = SpanGuard::enter(SpanKind::Op);
     for (i, (idx, acc)) in indexes.iter_mut().zip(per_index.iter_mut()).enumerate() {
+        let family = families.get(i).copied().unwrap_or(IndexFamily::NONE);
         let t = if active {
             Some(std::time::Instant::now())
         } else {
             None
         };
+        let dispatch = SpanGuard::enter_family(SpanKind::IndexDispatch, family);
         let s = if inserted {
             idx.on_edge_inserted(g, u, v)
         } else {
             idx.on_edge_deleted(g, u, v)
         };
+        dispatch.add_blocks(s.splits as u64 + s.merges as u64);
+        dispatch.set_queue_depth(s.queue_peak as u64);
+        drop(dispatch);
         if let Some(t) = t {
-            let family = families.get(i).copied().unwrap_or(IndexFamily::NONE);
             obs.observe_index_dispatch(family, op, &s, t.elapsed().as_nanos() as u64);
         }
         acc.absorb(&s);
         result.stats.absorb(&s);
     }
+    drop(op_span);
     result.ops_applied += 1;
 }
 
@@ -253,6 +260,7 @@ pub fn apply_batch_traced_obs(
     };
 
     // Phase 1: node additions.
+    let seg_span = SpanGuard::enter(SpanKind::BatchSegment);
     let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::AddNode { label } = op {
@@ -270,6 +278,8 @@ pub fn apply_batch_traced_obs(
             seg_ops += 1;
         }
     }
+    seg_span.add_elems(seg_ops as u64);
+    drop(seg_span);
     if active {
         segment(obs, BatchSegment::AddNodes, seg_ops);
     }
@@ -278,6 +288,7 @@ pub fn apply_batch_traced_obs(
         NodeRef::New(i) => created[*i],
     };
     // Phase 2: edge insertions.
+    let seg_span = SpanGuard::enter(SpanKind::BatchSegment);
     let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::InsertEdge { from, to, kind } = op {
@@ -297,10 +308,13 @@ pub fn apply_batch_traced_obs(
             seg_ops += 1;
         }
     }
+    seg_span.add_elems(seg_ops as u64);
+    drop(seg_span);
     if active {
         segment(obs, BatchSegment::InsertEdges, seg_ops);
     }
     // Phase 3: edge deletions.
+    let seg_span = SpanGuard::enter(SpanKind::BatchSegment);
     let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::DeleteEdge { from, to } = op {
@@ -319,12 +333,15 @@ pub fn apply_batch_traced_obs(
             seg_ops += 1;
         }
     }
+    seg_span.add_elems(seg_ops as u64);
+    drop(seg_span);
     if active {
         segment(obs, BatchSegment::DeleteEdges, seg_ops);
     }
     // Phase 4: node removals (after explicit edge deletions, so edges
     // already deleted in phase 3 are not double-processed; any edges the
     // node still has are deleted here through the same fan-out).
+    let seg_span = SpanGuard::enter(SpanKind::BatchSegment);
     let mut seg_ops = 0usize;
     for op in batch {
         if let UpdateOp::RemoveNode { node } = op {
@@ -373,6 +390,8 @@ pub fn apply_batch_traced_obs(
             seg_ops += 1;
         }
     }
+    seg_span.add_elems(seg_ops as u64);
+    drop(seg_span);
     if active {
         segment(obs, BatchSegment::RemoveNodes, seg_ops);
     }

@@ -38,6 +38,7 @@
 use crate::batch::{self, BatchError, BatchResult, UpdateOp};
 use crate::index::StructuralIndex;
 use crate::obs::event::{EventPayload, IndexFamily, OpKind};
+use crate::obs::span::{SpanGuard, SpanKind};
 use crate::obs::{clamp32, ObsHub};
 use crate::rebuild::RebuildPolicy;
 use crate::stats::UpdateStats;
@@ -213,10 +214,14 @@ impl UpdateEngine {
         self.obs.emit(EventPayload::OpReceived {
             op: OpKind::AddNode,
         });
+        let op_span = SpanGuard::enter(SpanKind::Op);
         let t = Instant::now();
         for e in &mut self.entries {
+            let dispatch = SpanGuard::enter_family(SpanKind::IndexDispatch, e.family);
             e.index.on_node_added(&self.g, n);
+            drop(dispatch);
         }
+        drop(op_span);
         self.stats.observe_op(t.elapsed(), 1);
         self.paranoid_check("add_node");
         n
@@ -277,11 +282,15 @@ impl UpdateEngine {
         self.obs.emit(EventPayload::OpReceived {
             op: OpKind::RemoveNode,
         });
+        let op_span = SpanGuard::enter(SpanKind::Op);
         let t = Instant::now();
         for e in &mut self.entries {
+            let dispatch = SpanGuard::enter_family(SpanKind::IndexDispatch, e.family);
             e.index.on_node_removing(&self.g, n);
+            drop(dispatch);
         }
         let elapsed = t.elapsed();
+        drop(op_span);
         self.g.remove_node(n)?;
         self.stats.observe_op(elapsed, 1);
         self.paranoid_check("remove_node");
@@ -348,6 +357,18 @@ impl UpdateEngine {
         }
     }
 
+    /// One-stop metrics export: publishes store reports first (so the
+    /// `store_probe_len`/spill telemetry the ROADMAP IedgeMap sweep
+    /// needs is always current, not only when a caller remembered
+    /// [`UpdateEngine::publish_store_reports`]), then renders the
+    /// metrics registry as JSON. Returns `None` when metrics were never
+    /// enabled.
+    pub fn export_metrics_json(&mut self) -> Option<String> {
+        self.obs.metrics()?;
+        self.publish_store_reports();
+        Some(self.obs.metrics_json())
+    }
+
     /// Freezes every registered index into an immutable
     /// [`IndexSnapshot`] (registration order; `None` for families that
     /// cannot freeze). O(blocks) per index: extent runs are
@@ -360,8 +381,16 @@ impl UpdateEngine {
         let active = self.obs.is_active();
         let mut out = Vec::with_capacity(self.entries.len());
         for e in &self.entries {
+            // Family-attributed wrapper; the view-level block walk opens
+            // its own (nested) Freeze span carrying the block counter.
+            let sp = SpanGuard::enter_family(SpanKind::Freeze, e.family);
             let t = if active { Some(Instant::now()) } else { None };
             let snap = e.index.freeze(&self.g);
+            sp.add_cow_clones(e.index.cow_clones());
+            if let Some(s) = snap.as_ref() {
+                sp.add_blocks(s.block_count() as u64);
+            }
+            drop(sp);
             if let (Some(t), Some(s)) = (t, snap.as_ref()) {
                 self.obs.emit(EventPayload::SnapshotFreeze {
                     family: e.family,
@@ -396,17 +425,22 @@ impl UpdateEngine {
         if active {
             self.obs.emit(EventPayload::OpReceived { op });
         }
+        let op_span = SpanGuard::enter(SpanKind::Op);
         let t = Instant::now();
         // Fold from the absorb identity (satellite 1): the aggregate's
         // `no_op` is true iff every index took its no-op fast path.
         let mut total = UpdateStats::identity();
         for e in &mut self.entries {
             let t_idx = if active { Some(Instant::now()) } else { None };
+            let dispatch = SpanGuard::enter_family(SpanKind::IndexDispatch, e.family);
             let s = if inserted {
                 e.index.on_edge_inserted(&self.g, u, v)
             } else {
                 e.index.on_edge_deleted(&self.g, u, v)
             };
+            dispatch.add_blocks(s.splits as u64 + s.merges as u64);
+            dispatch.set_queue_depth(s.queue_peak as u64);
+            drop(dispatch);
             if let Some(t_idx) = t_idx {
                 self.obs.observe_index_dispatch(
                     e.family,
@@ -419,6 +453,7 @@ impl UpdateEngine {
             self.stats.absorb_op(&s);
             total.absorb(&s);
         }
+        drop(op_span);
         self.stats.observe_op(t.elapsed(), 1);
         self.run_policies();
         self.paranoid_check("edge op");
@@ -449,9 +484,12 @@ impl UpdateEngine {
             if let Some(policy) = &mut e.policy {
                 if policy.should_rebuild(e.index.block_count()) {
                     let before = e.index.block_count();
+                    let sp = SpanGuard::enter_family(SpanKind::Rebuild, e.family);
+                    sp.add_blocks(before as u64);
                     let t = Instant::now();
                     e.index.rebuild(&self.g);
                     let elapsed = t.elapsed();
+                    drop(sp);
                     self.stats.rebuild_time += elapsed;
                     self.stats.rebuilds += 1;
                     let after = e.index.block_count();

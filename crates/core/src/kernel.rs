@@ -26,6 +26,7 @@
 //! groups in a `BTreeMap` — so the kernel adds no hash-order
 //! nondeterminism on top of the drivers.
 
+use crate::obs::span::{SpanGuard, SpanKind};
 use crate::stats::UpdateStats;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Debug;
@@ -177,6 +178,12 @@ pub fn process_compounds<D: SplitDriver>(
 ) {
     stats.queue_peak = stats.queue_peak.max(cq.work_size());
     while let Some((level, mut compound)) = cq.pop_lowest() {
+        // One CompoundProcess span per Fig. 7 iteration: the whole
+        // extract/re-enqueue/double-scan body is in-span so the span
+        // sum accounts for (nearly) the whole split phase.
+        let sp = SpanGuard::enter(SpanKind::CompoundProcess);
+        sp.add_blocks(compound.len() as u64);
+        sp.set_queue_depth(cq.work_size() as u64);
         // Pick I with |I| ≤ ½ Σ|J| — the smallest member qualifies.
         let (min_pos, _) = compound
             .iter()
@@ -188,10 +195,22 @@ pub fn process_compounds<D: SplitDriver>(
         if rest.len() >= 2 {
             cq.push(level, rest.clone());
         }
-        let splitter = d.scan_succ(g, &[small]);
-        d.stabilize(g, &splitter, level, cq, stats);
-        let splitter = d.scan_succ(g, &rest);
-        d.stabilize(g, &splitter, level, cq, stats);
+        {
+            let scan = SpanGuard::enter(SpanKind::KernelScan);
+            let splitter = d.scan_succ(g, &[small]);
+            scan.add_blocks(1);
+            scan.add_elems(splitter.len() as u64);
+            sp.add_elems(splitter.len() as u64);
+            d.stabilize(g, &splitter, level, cq, stats);
+        }
+        {
+            let scan = SpanGuard::enter(SpanKind::KernelScan);
+            let splitter = d.scan_succ(g, &rest);
+            scan.add_blocks(rest.len() as u64);
+            scan.add_elems(splitter.len() as u64);
+            sp.add_elems(splitter.len() as u64);
+            d.stabilize(g, &splitter, level, cq, stats);
+        }
         stats.queue_peak = stats.queue_peak.max(cq.work_size());
     }
 }
@@ -221,12 +240,18 @@ pub fn refine_to_fixpoint<D: SplitDriver>(
     cq: &mut CompoundQueue<D::Block>,
     stats: &mut UpdateStats,
 ) {
+    // One aggregate KernelScan span for the whole fixpoint run: builds
+    // scan thousands of blocks, so per-block spans would dominate the
+    // collection; the counters carry the volume instead.
+    let span = SpanGuard::enter(SpanKind::KernelScan);
     let mut work: VecDeque<D::Block> = seeds.iter().copied().collect();
     while let Some(b) = work.pop_front() {
         if d.weight_of(b) == 0 {
             continue;
         }
         let splitter = d.scan_succ(g, &[b]);
+        span.add_blocks(1);
+        span.add_elems(splitter.len() as u64);
         d.stabilize(g, &splitter, level, cq, stats);
         stats.queue_peak = stats.queue_peak.max(work.len() + cq.work_size());
         // Pure splitting never retires a block id (the remainder keeps
@@ -275,6 +300,11 @@ pub fn merge_fold<D: MergeDriver>(d: &mut D, seed: D::Block, stats: &mut UpdateS
         if !d.is_live(i) {
             continue; // merged away after being enqueued
         }
+        // One CompoundProcess span per served work item (the merge-side
+        // analogue of the split loop's compound iteration), with one
+        // Merge child per folded group.
+        let sp = SpanGuard::enter(SpanKind::CompoundProcess);
+        sp.set_queue_depth(queue.len() as u64 + 1);
         let mut groups: BTreeMap<D::GroupKey, Vec<D::Block>> = BTreeMap::new();
         for c in d.merge_successors(i) {
             groups.entry(d.merge_key(c)).or_default().push(c);
@@ -284,7 +314,11 @@ pub fn merge_fold<D: MergeDriver>(d: &mut D, seed: D::Block, stats: &mut UpdateS
                 continue;
             }
             group.sort_unstable();
+            let m = SpanGuard::enter(SpanKind::Merge);
+            m.add_blocks(group.len() as u64);
+            sp.add_blocks(group.len() as u64);
             let survivor = d.merge_group(&group, stats);
+            drop(m);
             if d.requeue(survivor) && queued.insert(survivor) {
                 queue.push_back(survivor);
             }

@@ -207,14 +207,20 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest
-                    .chars()
-                    .next()
-                    .expect("invariant: the writer pushes a root scope before any field");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of plain bytes up to the next
+                // quote or escape, validating UTF-8 once per run — a
+                // per-character `from_utf8(&b[pos..])` re-scans the
+                // entire tail and turns parsing quadratic on MB-sized
+                // traces.
+                let start = *pos;
+                while let Some(&c) = b.get(*pos) {
+                    if c == b'"' || c == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }

@@ -30,13 +30,17 @@
 //! disabled path is within noise of the pre-instrumentation engine.
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod span;
 
 pub use event::{callsite, BatchSegment, CallsiteId, Event, EventPayload, IndexFamily, OpKind};
+pub use export::{chrome_trace_json, folded_stacks, FoldWeight};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use recorder::{FlightRecorder, JsonlWriter, NullRecorder, Recorder};
+pub use span::{SpanCounters, SpanGuard, SpanKind, SpanRecord, SpanTree};
 
 use crate::stats::UpdateStats;
 use std::time::Instant;

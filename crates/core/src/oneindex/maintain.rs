@@ -29,6 +29,7 @@
 //! sibling, and always run the merge phase from `I[v]`.
 
 use crate::kernel::{self, CompoundQueue, MergeDriver, SplitDriver};
+use crate::obs::span::{SpanGuard, SpanKind};
 use crate::partition::BlockId;
 use crate::stats::UpdateStats;
 use xsi_graph::{EdgeKind, Graph, GraphError, NodeId};
@@ -98,6 +99,7 @@ impl OneIndex {
     ///
     /// Both endpoints must already be indexed (see
     /// [`OneIndex::on_node_added`] for fresh nodes).
+    // xsi-lint: allow(span-coverage, delegates to apply_insert, which opens the Split/Merge spans)
     pub fn insert_edge(
         &mut self,
         g: &mut Graph,
@@ -111,6 +113,7 @@ impl OneIndex {
 
     /// Deletes the dedge `(u, v)` from the graph and maintains the index.
     /// Returns the removed edge's kind alongside the statistics.
+    // xsi-lint: allow(span-coverage, delegates to apply_delete, which opens the Split/Merge spans)
     pub fn delete_edge(
         &mut self,
         g: &mut Graph,
@@ -124,6 +127,7 @@ impl OneIndex {
     /// Deletes a node and all of its incident edges, maintaining the
     /// index throughout — node deletion "based on" edge deletion, as
     /// Section 1 prescribes. The node must not be the root.
+    // xsi-lint: allow(span-coverage, delegates per incident edge to apply_delete, which opens the spans)
     pub fn delete_node(&mut self, g: &mut Graph, n: NodeId) -> Result<UpdateStats, GraphError> {
         let mut stats = UpdateStats {
             no_op: false,
@@ -149,6 +153,7 @@ impl OneIndex {
     /// the caller — for running several indexes over one graph (mutate
     /// the graph once, notify each index). Equivalent to
     /// [`OneIndex::insert_edge`] minus the graph mutation.
+    // xsi-lint: allow(span-coverage, delegates to apply_insert, which opens the Split/Merge spans)
     pub fn notify_edge_inserted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
         debug_assert!(g.has_edge(u, v), "notify before mutating the graph");
         self.apply_insert(g, u, v, true)
@@ -156,6 +161,7 @@ impl OneIndex {
 
     /// Maintenance hook for an edge deletion already applied to `g` by
     /// the caller; see [`OneIndex::notify_edge_inserted`].
+    // xsi-lint: allow(span-coverage, delegates to apply_delete, which opens the Split/Merge spans)
     pub fn notify_edge_deleted(&mut self, g: &Graph, u: NodeId, v: NodeId) -> UpdateStats {
         debug_assert!(!g.has_edge(u, v), "notify after mutating the graph");
         self.apply_delete(g, u, v, true)
@@ -186,14 +192,22 @@ impl OneIndex {
             return stats;
         }
         stats.no_op = false;
-        let t = std::time::Instant::now();
-        self.split_phase(g, v, &mut stats);
-        stats.split_nanos = t.elapsed().as_nanos() as u64;
+        {
+            // Span covers exactly the region timed into split_nanos.
+            let sp = SpanGuard::enter(SpanKind::Split);
+            let t = std::time::Instant::now();
+            self.split_phase(g, v, &mut stats);
+            stats.split_nanos = t.elapsed().as_nanos() as u64;
+            sp.add_blocks(stats.splits as u64);
+            sp.set_queue_depth(stats.queue_peak as u64);
+        }
         stats.intermediate_blocks = self.p.block_count();
         if do_merge {
+            let sp = SpanGuard::enter(SpanKind::Merge);
             let t = std::time::Instant::now();
             self.merge_phase(g, self.p.block_of(v), &mut stats);
             stats.merge_nanos = t.elapsed().as_nanos() as u64;
+            sp.add_blocks(stats.merges as u64);
         }
         stats.final_blocks = self.p.block_count();
         stats
@@ -224,16 +238,21 @@ impl OneIndex {
         if self.p.has_iedge(bu, bv) {
             // Some sibling of v still has a parent in I[u], so v is no
             // longer bisimilar to it: single v out and propagate.
+            let sp = SpanGuard::enter(SpanKind::Split);
             let t = std::time::Instant::now();
             self.split_phase(g, v, &mut stats);
             stats.split_nanos = t.elapsed().as_nanos() as u64;
+            sp.add_blocks(stats.splits as u64);
+            sp.set_queue_depth(stats.queue_peak as u64);
         }
         // Either way I[v]'s parent set shrank — a merge may have opened up.
         stats.intermediate_blocks = self.p.block_count();
         if do_merge {
+            let sp = SpanGuard::enter(SpanKind::Merge);
             let t = std::time::Instant::now();
             self.merge_phase(g, self.p.block_of(v), &mut stats);
             stats.merge_nanos = t.elapsed().as_nanos() as u64;
+            sp.add_blocks(stats.merges as u64);
         }
         stats.final_blocks = self.p.block_count();
         stats
@@ -246,11 +265,17 @@ impl OneIndex {
         if self.p.size(bv) <= 1 {
             return;
         }
+        // The initial single-out is the phase's first work item (it
+        // seeds the compound queue); closed before process_compounds so
+        // CompoundProcess spans never self-nest.
+        let sp = SpanGuard::enter(SpanKind::CompoundProcess);
         let nb = self.p.new_block(self.p.label(bv));
         self.p.move_node(g, v, nb);
         stats.splits += 1;
         let mut cq = CompoundQueue::new(1);
         cq.push(0, vec![bv, nb]);
+        sp.add_blocks(2);
+        drop(sp);
         kernel::process_compounds(self, g, &mut cq, stats);
     }
 
@@ -259,11 +284,20 @@ impl OneIndex {
     /// merged inode ([`kernel::merge_fold`] over the (label, index-parent
     /// set) equivalence).
     pub(crate) fn merge_phase(&mut self, _g: &Graph, start: BlockId, stats: &mut UpdateStats) {
+        // The seed twin-search is its own work item (the fold's served
+        // blocks open their own CompoundProcess spans); closed before
+        // merge_fold so CompoundProcess spans never self-nest.
+        let sp = SpanGuard::enter(SpanKind::CompoundProcess);
         let Some(partner) = self.p.find_merge_partner(start) else {
             return;
         };
+        let m = SpanGuard::enter(SpanKind::Merge);
+        m.add_blocks(2);
+        sp.add_blocks(2);
         let merged = self.p.merge_group(&[start, partner]);
         stats.merges += 1;
+        drop(m);
+        drop(sp);
         kernel::merge_fold(self, merged, stats);
     }
 }

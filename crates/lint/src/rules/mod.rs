@@ -10,6 +10,7 @@ pub mod hash_iter;
 pub mod hygiene;
 pub mod obs_coverage;
 pub mod panics;
+pub mod span_coverage;
 
 use crate::source::SourceFile;
 use crate::{Finding, RuleInfo, Severity};
@@ -161,6 +162,36 @@ instrumented sibling) should carry a waiver naming the instrumented \
 callee: `// xsi-lint: allow(obs-coverage, delegates to apply_batch)`.",
     },
     RuleInfo {
+        name: "span-coverage",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary:
+            "kernel driver entry points and maintainer split/merge drivers must open a causal span",
+        explain: "\
+The span layer (DESIGN.md §12) answers *which compound block inside a \
+kernel pass ate the time* — but only if every driver entry point opens \
+a `SpanGuard`. A pass that skips the guard shows up in Perfetto as \
+unattributed parent time and silently breaks the ≥90% CompoundProcess \
+accounting contract the perf lab gates on. Sibling of `obs-coverage`: \
+that rule keeps the flat event/metric plane hole-free, this one keeps \
+the hierarchical span tree hole-free.
+
+Checked entry points: in `core/src/kernel.rs`, every `pub fn` that \
+threads `UpdateStats` (the driver surface — `process_compounds`, \
+`refine_to_fixpoint`, `merge_fold`; `CompoundQueue` plumbing is \
+exempt); in `core/src/oneindex/maintain.rs` and \
+`core/src/akindex/maintain.rs`, every `pub fn` taking `&mut self`. The \
+function must reference the span vocabulary (`SpanGuard`, `enter`, \
+`enter_family`, `SpanKind`, or a `span` binder) in its signature or \
+body.
+
+Pure delegators (the maintainers' public entry points forward to \
+`apply_insert`/`apply_delete`/`update_levels`, which open the spans) \
+should carry a waiver naming the span-opening callee: \
+`// xsi-lint: allow(span-coverage, delegates to apply_insert)`.",
+    },
+    RuleInfo {
         name: "forbid-unsafe",
         severity: Severity::Deny,
         baselineable: false,
@@ -230,6 +261,7 @@ pub fn run_all(f: &SourceFile, out: &mut Vec<Finding>) {
     hash_iter::run(f, out);
     panics::run(f, out);
     obs_coverage::run(f, out);
+    span_coverage::run(f, out);
     hygiene::run(f, out);
     // bad-waiver: malformed directives, plus waivers naming unknown rules.
     for bw in &f.bad_waivers {

@@ -91,7 +91,7 @@ pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
 
 /// From the token index of a fn's name, find its body `{`/`}` token
 /// span. Returns `None` for body-less fns (trait decls).
-fn fn_body_span(toks: &[Tok], name_idx: usize) -> Option<(usize, usize)> {
+pub(crate) fn fn_body_span(toks: &[Tok], name_idx: usize) -> Option<(usize, usize)> {
     let mut j = name_idx + 1;
     let mut paren = 0i32;
     while j < toks.len() {
@@ -121,7 +121,7 @@ fn fn_body_span(toks: &[Tok], name_idx: usize) -> Option<(usize, usize)> {
 }
 
 /// Does the signature contain `&mut self` (possibly `&'a mut self`)?
-fn takes_mut_self(sig: &[Tok]) -> bool {
+pub(crate) fn takes_mut_self(sig: &[Tok]) -> bool {
     for w in 0..sig.len() {
         if sig[w].is_punct('&') {
             let mut k = w + 1;

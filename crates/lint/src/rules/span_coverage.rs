@@ -1,0 +1,147 @@
+//! `span-coverage`: the refinement kernel's driver entry points and the
+//! two maintainers' split/merge drivers must open a causal span
+//! (DESIGN.md §12). Sibling of `obs-coverage` — that rule guarantees the
+//! flat event/metric plane has no holes; this one guarantees the
+//! hierarchical span tree doesn't either: a kernel pass that never
+//! opens a `SpanGuard` shows up in a Perfetto trace as unattributed
+//! parent time, which defeats the ≥90% accounting contract.
+//! See the registry entry in [`super::RULES`].
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+use super::obs_coverage::{fn_body_span, takes_mut_self};
+
+/// Files the rule applies to (suffix match, so fixture mini-workspaces
+/// exercise the rule too).
+const KERNEL_SUFFIX: &str = "core/src/kernel.rs";
+const MAINTAINER_SUFFIXES: &[&str] = &[
+    "core/src/oneindex/maintain.rs",
+    "core/src/akindex/maintain.rs",
+];
+
+/// Identifiers that count as "opens a span": the guard type, its
+/// constructors, or the module-level collection helpers. A bare `span`
+/// binder also counts — the kernel names its aggregate guards that way.
+const SPAN_TOKENS: &[&str] = &["SpanGuard", "enter", "enter_family", "span", "SpanKind"];
+
+pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
+    let is_kernel = f.rel_path.ends_with(KERNEL_SUFFIX);
+    let is_maintainer = MAINTAINER_SUFFIXES.iter().any(|s| f.rel_path.ends_with(s));
+    if !is_kernel && !is_maintainer {
+        return;
+    }
+    let toks = &f.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `pub fn name` — but not `pub(crate) fn`: internal plumbing.
+        if toks[i].is_ident("pub") // xsi-lint: allow(slice-index, loop condition bounds i < toks.len())
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("fn"))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let name = toks[i + 2].text.clone(); // xsi-lint: allow(slice-index, the i + 2 lookahead was get-checked above)
+            let line = toks[i + 2].line; // xsi-lint: allow(slice-index, the i + 2 lookahead was get-checked above)
+            if !f.is_test_line(line) {
+                if let Some((body_open, body_close)) = fn_body_span(toks, i + 2) {
+                    let sig = &toks[i + 3..body_open]; // xsi-lint: allow(slice-index, fn_body_span returns body_open past the name token)
+                                                       // Kernel: the driver entry points are exactly the pub
+                                                       // fns threading `UpdateStats` (process_compounds,
+                                                       // refine_to_fixpoint, merge_fold); queue plumbing is
+                                                       // exempt. Maintainers: every pub `&mut self` driver.
+                    let is_entry = if is_kernel {
+                        sig.iter()
+                            .any(|t| t.kind == TokKind::Ident && t.text == "UpdateStats")
+                    } else {
+                        takes_mut_self(sig)
+                    };
+                    if is_entry {
+                        // xsi-lint: allow(slice-index, fn_body_span returns in-bounds body_close)
+                        let covered = toks[i + 3..=body_close].iter().any(|t| {
+                            t.kind == TokKind::Ident && SPAN_TOKENS.contains(&t.text.as_str())
+                        });
+                        if !covered {
+                            out.push(super::finding(
+                                f,
+                                "span-coverage",
+                                line,
+                                format!(
+                                    "driver entry point `pub fn {name}(…)` never opens a causal \
+                                     span (no SpanGuard::enter/enter_family); instrument it or \
+                                     waive naming the span-opening delegate"
+                                ),
+                            ));
+                        }
+                        i = body_close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint_at(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel.to_string(), PathBuf::from(format!("/x/{rel}")), src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn kernel_driver_without_span_flagged() {
+        let src =
+            "pub fn process<D: SplitDriver>(d: &mut D, stats: &mut UpdateStats) { d.scan(); }";
+        let hits = lint_at("crates/core/src/kernel.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("process"));
+    }
+
+    #[test]
+    fn kernel_driver_with_span_guard_is_clean() {
+        let src = "pub fn process<D: SplitDriver>(d: &mut D, stats: &mut UpdateStats) { \
+                   let sp = SpanGuard::enter(SpanKind::KernelScan); d.scan(); drop(sp); }";
+        assert!(lint_at("crates/core/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn kernel_queue_plumbing_is_exempt() {
+        let src =
+            "impl<K> CompoundQueue<K> { pub fn push(&mut self, c: Vec<K>) { self.q.push(c); } }";
+        assert!(lint_at("crates/core/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn maintainer_mut_self_without_span_flagged() {
+        let src = "impl M { pub fn apply(&mut self, g: &mut Graph) { self.go(g); } }";
+        let hits = lint_at("crates/core/src/oneindex/maintain.rs", src);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn maintainer_with_enter_family_is_clean() {
+        let src = "impl M { pub fn apply(&mut self, g: &mut Graph) { \
+                   let sp = SpanGuard::enter_family(SpanKind::Split, self.family); self.go(g); drop(sp); } }";
+        assert!(lint_at("crates/core/src/akindex/maintain.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shared_ref_and_private_fns_ignored() {
+        let src = "impl M { pub fn size(&self) -> usize { self.n } \
+                   fn helper(&mut self) { poke(); } \
+                   pub(crate) fn h2(&mut self) { poke(); } }";
+        assert!(lint_at("crates/core/src/oneindex/maintain.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_target_files_ignored() {
+        let src = "impl E { pub fn mutate(&mut self, stats: &mut UpdateStats) { poke(); } }";
+        assert!(lint_at("crates/core/src/engine.rs", src).is_empty());
+    }
+}

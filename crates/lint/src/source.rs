@@ -139,11 +139,20 @@ fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
         }
         // An own-line comment waives the following line (and any lines the
         // comment spans); an end-of-line comment waives its own line.
-        let applies_to = if c.own_line {
+        let mut applies_to = if c.own_line {
             c.end_line + 1
         } else {
             c.end_line
         };
+        // Own-line waivers chain through any own-line comments that
+        // follow (further waivers, doc comments) to the first code
+        // line, so waivers for different rules can stack above one
+        // declaration.
+        if c.own_line {
+            while let Some(next) = comments.iter().find(|n| n.own_line && n.line == applies_to) {
+                applies_to = next.end_line + 1;
+            }
+        }
         waivers.push(Waiver {
             rule: rule.to_string(),
             reason: reason.to_string(),
@@ -316,6 +325,23 @@ mod tests {
         assert!(f.waived("panic-unwrap", 3));
         assert!(!f.waived("panic-unwrap", 4));
         assert!(!f.waived("hash-iter", 3));
+    }
+
+    #[test]
+    fn stacked_waivers_chain_to_the_first_code_line() {
+        // Two waivers (and a doc comment) above one declaration: every
+        // own-line waiver must reach the code line below the block.
+        let f = file(
+            "// xsi-lint: allow(span-coverage, delegate opens the span)\n\
+             // xsi-lint: allow(obs-coverage, caller times it)\n\
+             /// Registers a node.\n\
+             pub fn on_node_added() {}\n\
+             fn next() {}\n",
+        );
+        assert!(f.waived("span-coverage", 4));
+        assert!(f.waived("obs-coverage", 4));
+        assert!(!f.waived("span-coverage", 5));
+        assert!(!f.waived("obs-coverage", 5));
     }
 
     #[test]

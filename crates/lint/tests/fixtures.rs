@@ -115,6 +115,24 @@ fn obs_coverage_fires_on_uninstrumented_entry_point_only() {
 }
 
 #[test]
+fn span_coverage_fires_respects_waiver_and_is_not_baselineable() {
+    let r = run_fixture(None);
+    let hits = live(&r, "span-coverage");
+    // Exactly the uninstrumented kernel driver; the instrumented one and
+    // the `UpdateStats`-free queue plumbing stay quiet.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/kernel.rs");
+    assert_eq!(
+        count_suppressed(&r, "span-coverage", Suppression::Waived),
+        1
+    );
+    // Not baselineable: freezing today's counts must not hide it.
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    let second = run_fixture(Some(frozen));
+    assert_eq!(live(&second, "span-coverage").len(), 1);
+}
+
+#[test]
 fn hygiene_rules_fire() {
     let r = run_fixture(None);
     let unsafe_hits = live(&r, "forbid-unsafe");
