@@ -84,9 +84,7 @@ fn main() {
 
     // Metrics always on for this binary; the recorder depends on flags.
     engine.obs_mut().enable_metrics();
-    let streaming_trace = trace_out.is_some();
-    if streaming_trace {
-        let path = trace_out.as_deref().unwrap();
+    if let Some(path) = trace_out.as_deref() {
         let f = File::create(path).unwrap_or_else(|e| {
             eprintln!("xsi-bench: cannot create {path}: {e}");
             std::process::exit(1);
@@ -114,13 +112,17 @@ fn main() {
     let mut applied = 0usize;
     for _ in 0..pairs {
         if let Some((u, v)) = pool.next_insert() {
-            engine
-                .insert_edge(u, v, EdgeKind::IdRef)
-                .expect("pooled insert");
+            if let Err(e) = engine.insert_edge(u, v, EdgeKind::IdRef) {
+                eprintln!("xsi-bench: pooled insert {u:?} -> {v:?} rejected: {e:?}");
+                std::process::exit(1);
+            }
             applied += 1;
         }
         if let Some((u, v)) = pool.next_delete() {
-            engine.delete_edge(u, v).expect("pooled delete");
+            if let Err(e) = engine.delete_edge(u, v) {
+                eprintln!("xsi-bench: pooled delete {u:?} -> {v:?} rejected: {e:?}");
+                std::process::exit(1);
+            }
             applied += 1;
         }
     }
@@ -232,15 +234,12 @@ fn main() {
         eprintln!("xsi-bench: wrote metrics to {path}");
     }
 
-    if streaming_trace {
+    if let Some(path) = trace_out.as_deref() {
         // Dropping the recorder flushes the BufWriter; any latched I/O
         // error was already reported through `flush` above.
         if let Some(rec) = engine.obs_mut().take_recorder() {
             drop(rec);
         }
-        eprintln!(
-            "xsi-bench: wrote trace to {}",
-            trace_out.as_deref().unwrap()
-        );
+        eprintln!("xsi-bench: wrote trace to {path}");
     }
 }

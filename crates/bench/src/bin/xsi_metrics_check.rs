@@ -5,11 +5,14 @@
 //! ```text
 //! xsi_metrics_check [--metrics m.json] [--trace t.jsonl] [--prom m.prom]
 //!                   [--chrome-trace t.json] [--bench BENCH.json]
+//!                   [--sarif report.sarif]
 //! ```
 //!
 //! At least one input flag is required. `--chrome-trace` validates the
 //! span exporter's trace-event JSON (`xsi-chrome-trace-v1`); `--bench`
-//! validates a perf-trajectory record (`xsi-bench-trajectory-v1`).
+//! validates a perf-trajectory record (`xsi-bench-trajectory-v1`);
+//! `--sarif` validates `xsi-lint --sarif` output against the SARIF
+//! 2.1.0 shape GitHub code scanning ingests.
 
 #![forbid(unsafe_code)]
 
@@ -25,12 +28,12 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = Args::parse_env();
-    if ["metrics", "trace", "prom", "chrome-trace", "bench"]
+    if ["metrics", "trace", "prom", "chrome-trace", "bench", "sarif"]
         .iter()
         .all(|f| args.str(f).is_none())
     {
         return fail(
-            "nothing to check: pass --metrics / --trace / --prom / --chrome-trace / --bench",
+            "nothing to check: pass --metrics / --trace / --prom / --chrome-trace / --bench / --sarif",
         );
     }
 
@@ -70,7 +73,139 @@ fn main() -> ExitCode {
         }
     }
 
+    // Optional SARIF log from xsi-lint --sarif.
+    if let Some(path) = args.str("sarif") {
+        if let Some(code) = check_sarif(path) {
+            return code;
+        }
+    }
+
     ExitCode::SUCCESS
+}
+
+/// Validates a SARIF 2.1.0 log as emitted by `xsi-lint --sarif`: the
+/// version/schema pair, one run with a named driver and a rule array,
+/// and for every result a known level, a ruleId/ruleIndex pair that
+/// resolves into the driver's rule array, one physical location with a
+/// positive `startLine`, and a `suppressions` array whose entries carry
+/// a known `kind`.
+fn check_sarif(path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {path}: {e}"))),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Some(fail(&format!("{path}: not valid JSON: {e}"))),
+    };
+    if v.get("version").and_then(Json::as_str) != Some("2.1.0") {
+        return Some(fail("sarif: version must be \"2.1.0\""));
+    }
+    let schema_ok = v
+        .get("$schema")
+        .and_then(Json::as_str)
+        .is_some_and(|s| s.contains("sarif-2.1.0"));
+    if !schema_ok {
+        return Some(fail("sarif: $schema must reference sarif-2.1.0"));
+    }
+    let Some(runs) = v.get("runs").and_then(Json::as_arr) else {
+        return Some(fail("sarif: runs must be an array"));
+    };
+    if runs.len() != 1 {
+        return Some(fail(&format!(
+            "sarif: expected exactly 1 run, got {}",
+            runs.len()
+        )));
+    }
+    let Some(run) = runs.first() else {
+        return Some(fail("sarif: runs is empty"));
+    };
+    let Some(driver) = run.get("tool").and_then(|t| t.get("driver")) else {
+        return Some(fail("sarif: run.tool.driver is missing"));
+    };
+    if driver.get("name").and_then(Json::as_str).is_none() {
+        return Some(fail("sarif: tool.driver.name is missing"));
+    }
+    let Some(rules) = driver.get("rules").and_then(Json::as_arr) else {
+        return Some(fail("sarif: tool.driver.rules must be an array"));
+    };
+    let rule_ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    if rule_ids.len() != rules.len() {
+        return Some(fail("sarif: every driver rule needs a string id"));
+    }
+    let Some(results) = run.get("results").and_then(Json::as_arr) else {
+        return Some(fail("sarif: run.results must be an array"));
+    };
+    for (i, r) in results.iter().enumerate() {
+        let Some(rule_id) = r.get("ruleId").and_then(Json::as_str) else {
+            return Some(fail(&format!("sarif: results[{i}]: missing ruleId")));
+        };
+        let level = r.get("level").and_then(Json::as_str);
+        if !matches!(level, Some("error" | "warning" | "note")) {
+            return Some(fail(&format!("sarif: results[{i}]: bad level {level:?}")));
+        }
+        if let Some(ri) = r.get("ruleIndex").and_then(Json::as_u64) {
+            if rule_ids.get(ri as usize) != Some(&rule_id) {
+                return Some(fail(&format!(
+                    "sarif: results[{i}]: ruleIndex {ri} does not resolve to {rule_id:?}"
+                )));
+            }
+        }
+        if r.get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .is_none()
+        {
+            return Some(fail(&format!("sarif: results[{i}]: missing message.text")));
+        }
+        let Some(locs) = r.get("locations").and_then(Json::as_arr) else {
+            return Some(fail(&format!("sarif: results[{i}]: missing locations")));
+        };
+        if locs.len() != 1 {
+            return Some(fail(&format!("sarif: results[{i}]: expected 1 location")));
+        }
+        let phys = locs.first().and_then(|l| l.get("physicalLocation"));
+        let uri = phys
+            .and_then(|p| p.get("artifactLocation"))
+            .and_then(|a| a.get("uri"))
+            .and_then(Json::as_str);
+        if uri.is_none() {
+            return Some(fail(&format!(
+                "sarif: results[{i}]: missing physicalLocation.artifactLocation.uri"
+            )));
+        }
+        let start = phys
+            .and_then(|p| p.get("region"))
+            .and_then(|g| g.get("startLine"))
+            .and_then(Json::as_u64);
+        if start.is_none_or(|s| s < 1) {
+            return Some(fail(&format!(
+                "sarif: results[{i}]: region.startLine must be >= 1"
+            )));
+        }
+        let Some(sups) = r.get("suppressions").and_then(Json::as_arr) else {
+            return Some(fail(&format!(
+                "sarif: results[{i}]: missing suppressions array"
+            )));
+        };
+        for s in sups {
+            let kind = s.get("kind").and_then(Json::as_str);
+            if !matches!(kind, Some("inSource" | "external")) {
+                return Some(fail(&format!(
+                    "sarif: results[{i}]: bad suppression kind {kind:?}"
+                )));
+            }
+        }
+    }
+    println!(
+        "xsi-metrics-check: {path}: ok ({} rules, {} results)",
+        rules.len(),
+        results.len()
+    );
+    None
 }
 
 /// Validates the `xsi-metrics-v1` envelope + registry body; returns
@@ -143,7 +278,12 @@ fn check_metrics(metrics_path: &str) -> Option<ExitCode> {
             }
         }
     }
-    let counters = metrics.get("counters").and_then(Json::as_arr).unwrap();
+    let Some(counters) = metrics.get("counters").and_then(Json::as_arr) else {
+        return Some(fail("metrics.counters must be an array"));
+    };
+    let Some(gauges) = metrics.get("gauges").and_then(Json::as_arr) else {
+        return Some(fail("metrics.gauges must be an array"));
+    };
     let has_ops_total = counters
         .iter()
         .any(|c| c.get("name").and_then(Json::as_str) == Some("ops_total"));
@@ -170,12 +310,8 @@ fn check_metrics(metrics_path: &str) -> Option<ExitCode> {
     println!(
         "xsi-metrics-check: {metrics_path}: ok ({} counters, {} gauges, {} histograms)",
         counters.len(),
-        metrics.get("gauges").and_then(Json::as_arr).unwrap().len(),
-        metrics
-            .get("histograms")
-            .and_then(Json::as_arr)
-            .unwrap()
-            .len()
+        gauges.len(),
+        histograms.len()
     );
     None
 }

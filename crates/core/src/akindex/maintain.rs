@@ -458,11 +458,8 @@ impl AkIndex {
             parent = b;
         }
         self.node_block[n.index()] = parent;
-        self.node_pos[n.index()] = self.blocks[parent].extent.len() as u32;
-        self.blocks[parent]
-            .extent
-            .make_mut(&mut self.cow_clones)
-            .push(n);
+        self.node_pos[n.index()] = self.extent(parent).len() as u32;
+        self.extent_mut(parent).push(n);
     }
 
     /// Unregisters a node about to be removed (must be edge-free; call
@@ -475,9 +472,10 @@ impl AkIndex {
         let k = self.k();
         // Extent removal at level k.
         let pos = self.node_pos[n.index()] as usize;
-        let extent = self.blocks[chain[k]].extent.make_mut(&mut self.cow_clones);
+        let extent = self.extent_mut(chain[k]);
         extent.swap_remove(pos);
-        if let Some(&moved) = extent.get(pos) {
+        let moved = extent.get(pos).copied();
+        if let Some(moved) = moved {
             self.node_pos[moved.index()] = pos as u32;
         }
         self.node_block[n.index()] = ABlockId::INVALID;

@@ -295,6 +295,14 @@ impl AkIndex {
         &self.blocks[b].extent
     }
 
+    /// Mutable extent access for the maintainer modules, routed through
+    /// the copy-on-write gate: a run still shared with a frozen
+    /// snapshot is cloned before the `&mut` is handed out.
+    fn extent_mut(&mut self, b: ABlockId) -> &mut Vec<NodeId> {
+        debug_assert_eq!(self.blocks[b].level as usize, self.k);
+        self.blocks[b].extent.make_mut(&mut self.cow_clones)
+    }
+
     /// Shares a level-k inode's extent run with a frozen snapshot:
     /// O(1), no node ids copied. The writer's next mutation of `b`
     /// clones the run (counted in [`AkIndex::cow_clone_count`]).
@@ -612,7 +620,6 @@ impl AkIndex {
     /// Merges block `src` into `dst` (same level, same tree parent):
     /// extents/children are transferred and all edge-count maps re-keyed.
     pub(crate) fn merge_blocks(&mut self, dst: ABlockId, src: ABlockId) {
-        // xsi-lint: allow(hot-assert, self-merge corrupts the tree irrecoverably; cost is one compare per merge)
         assert_ne!(dst, src);
         let level = self.blocks[src].level;
         debug_assert_eq!(self.blocks[dst].level, level);
@@ -621,6 +628,7 @@ impl AkIndex {
 
         // Extent or tree children.
         if level == k {
+            // xsi-lint: allow(cow-discipline, take swaps in a fresh empty run; the taken handle still shares with any snapshot reading it)
             let src_extent = std::mem::take(&mut self.blocks[src].extent);
             for &n in src_extent.iter() {
                 let blk = &mut self.blocks[dst];
@@ -634,6 +642,7 @@ impl AkIndex {
             // snapshot keeps the nodes and the slot starts fresh.
             if let Some(mut e) = src_extent.take_unique() {
                 e.clear();
+                // xsi-lint: allow(cow-discipline, take_unique proved the run unshared; no snapshot can observe the swap)
                 self.blocks[src].extent = e.into();
             }
         } else {

@@ -518,6 +518,7 @@ impl Partition {
         assert_ne!(dst, src, "merging a block with itself");
         debug_assert_eq!(self.label(dst), self.label(src), "label mismatch in merge");
         // Extent transfer.
+        // xsi-lint: allow(cow-discipline, take swaps in a fresh empty run; the taken handle still shares with any snapshot reading it)
         let src_extent = std::mem::take(&mut self.blocks[src].extent);
         for &n in src_extent.iter() {
             let blk = &mut self.blocks[dst];
@@ -531,6 +532,7 @@ impl Partition {
         // `take` left behind.
         if let Some(mut recycled) = src_extent.take_unique() {
             recycled.clear();
+            // xsi-lint: allow(cow-discipline, take_unique proved the run unshared; no snapshot can observe the swap)
             self.blocks[src].extent = recycled.into();
         }
         // Count transfer. Drain src's maps (sorted, keeping their spill

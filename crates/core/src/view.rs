@@ -236,6 +236,7 @@ impl IndexQueryView for IndexSnapshot {
         &self
             .block(b)
             .expect("invariant: walker only visits live frozen block ids")
+            // xsi-lint: allow(store-discipline, FrozenBlock's own field on an immutable snapshot — not the live arena the accessors guard)
             .extent
     }
 

@@ -35,14 +35,17 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod render;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
 
 use crate::baseline::Baseline;
 use crate::source::SourceFile;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// How bad a finding is by default.
@@ -79,6 +82,10 @@ pub struct Finding {
     pub excerpt: String,
     /// `None` when the finding is live; otherwise why it was suppressed.
     pub suppressed: Option<Suppression>,
+    /// Ratchet grouping key override. `None` groups by `path` (the
+    /// per-file rules); `panic-reach` sets `<file>#<Type::fn>` so each
+    /// entry point ratchets independently.
+    pub ratchet_key: Option<String>,
 }
 
 /// Static description of one rule, for `--explain` and the registry.
@@ -210,13 +217,53 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
         rules::run_all(f, &mut findings);
     }
 
+    // Phase 2: interprocedural rules over the one-pass workspace
+    // symbol table and its conservative call graph.
+    let table = symbols::SymbolTable::build(sources);
+    let graph = callgraph::CallGraph::build(&table, sources);
+    rules::run_interproc(sources, &table, &graph, &mut findings);
+
     // 1. Waivers: any waivable finding on a waived line is suppressed.
+    // Track which waiver fired — unused waivers are themselves findings.
+    let mut used_waivers: BTreeSet<(usize, usize)> = BTreeSet::new();
     for fi in &mut findings {
-        let Some(src) = sources.iter().find(|s| s.rel_path == fi.path) else {
+        let Some((si, src)) = sources
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.rel_path == fi.path)
+        else {
             continue;
         };
-        if rules::info(fi.rule).is_some_and(|r| r.waivable) && src.waived(fi.rule, fi.line) {
-            fi.suppressed = Some(Suppression::Waived);
+        if rules::info(fi.rule).is_some_and(|r| r.waivable) {
+            if let Some(wi) = src.waiver_covering(fi.rule, fi.line) {
+                fi.suppressed = Some(Suppression::Waived);
+                used_waivers.insert((si, wi));
+            }
+        }
+    }
+
+    // 1b. Dead waivers: a well-formed waiver that suppressed nothing
+    // (and exempted no panic site from reachability) is a stale safety
+    // claim — flag it so suppression debt can only shrink. Waivers
+    // naming unknown rules are `bad-waiver`'s job.
+    for (si, src) in sources.iter().enumerate() {
+        for (wi, w) in src.waivers.iter().enumerate() {
+            if rules::info(&w.rule).is_none() || used_waivers.contains(&(si, wi)) {
+                continue;
+            }
+            if exempts_panic_macro(src, w) {
+                continue;
+            }
+            findings.push(rules::finding(
+                src,
+                "dead-waiver",
+                w.line,
+                format!(
+                    "waiver for `{}` suppressed zero findings (covers lines {}\u{2013}{}); \
+                     the hazard it argued safe is gone — delete the waiver",
+                    w.rule, w.applies_from, w.applies_to
+                ),
+            ));
         }
     }
 
@@ -228,7 +275,9 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
     let mut ratchet_counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
     let mut improvements = Vec::new();
     {
-        // Group indices of live, baselineable findings by (file, rule).
+        // Group indices of live, baselineable findings by (key, rule),
+        // where key is the file path unless the rule set a ratchet key
+        // (panic-reach ratchets per `<file>#<entry fn>`).
         let mut groups: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         for (i, fi) in findings.iter().enumerate() {
             if fi.suppressed.is_some() {
@@ -238,8 +287,9 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
                 .map(|r| r.baselineable)
                 .unwrap_or(false);
             if baselineable {
+                let key = fi.ratchet_key.clone().unwrap_or_else(|| fi.path.clone());
                 groups
-                    .entry((fi.path.clone(), fi.rule.to_string()))
+                    .entry((key, fi.rule.to_string()))
                     .or_default()
                     .push(i);
             }
@@ -266,7 +316,9 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
             }
         }
         // Baseline entries for files/rules that no longer fire at all are
-        // also improvements (ratchet down to zero).
+        // improvements (ratchet down to zero) — and, because a leftover
+        // budget would quietly absorb future regressions, they are also
+        // `stale-baseline` findings until `--update-baseline` prunes them.
         for (path, rules_map) in base.entries() {
             for (rule, &budget) in rules_map {
                 let live = ratchet_counts
@@ -276,6 +328,32 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
                     .unwrap_or(0);
                 if live == 0 && budget > 0 {
                     improvements.push((path.clone(), rule.clone(), 0, budget));
+                    // For panic-reach keys (`file#entry`), anchor the
+                    // finding at the file part.
+                    let file_part = path.split('#').next().unwrap_or(path).to_string();
+                    let gone = !sources.iter().any(|s| s.rel_path == file_part);
+                    findings.push(Finding {
+                        rule: "stale-baseline",
+                        severity: rules::info("stale-baseline")
+                            .map(|r| r.severity)
+                            .unwrap_or(Severity::Deny),
+                        path: file_part.clone(),
+                        line: 0,
+                        message: if gone {
+                            format!(
+                                "baseline entry `{path}` / `{rule}` (budget {budget}) refers to a \
+                                 file no longer scanned; run --update-baseline to prune it"
+                            )
+                        } else {
+                            format!(
+                                "baseline entry `{path}` / `{rule}` froze {budget} finding(s) but 0 \
+                                 remain live; run --update-baseline to ratchet the budget away"
+                            )
+                        },
+                        excerpt: String::new(),
+                        suppressed: None,
+                        ratchet_key: None,
+                    });
                 }
             }
         }
@@ -291,6 +369,25 @@ pub fn run_on_sources(config: &LintConfig, sources: &[SourceFile]) -> Report {
         ratchet_counts,
         improvements,
     }
+}
+
+/// Does a `panic-reach` waiver exempt an explicit panic-macro site
+/// from reachability? Such a waiver never suppresses a finding at its
+/// own line (the finding sits at the entry point), so the dead-waiver
+/// audit must recognize this second way of being load-bearing. The
+/// three ratcheted panic kinds need no such carve-out: their per-file
+/// rules always produce a (suppressed) finding at the waived site.
+fn exempts_panic_macro(src: &SourceFile, w: &source::Waiver) -> bool {
+    if w.rule != "panic-reach" {
+        return false;
+    }
+    src.toks.windows(2).any(|p| {
+        p[0].kind == lexer::TokKind::Ident
+            && symbols::PANIC_MACROS.contains(&p[0].text.as_str())
+            && p[1].is_punct('!')
+            && w.applies_from <= p[0].line
+            && p[0].line <= w.applies_to
+    })
 }
 
 /// Workspace-relative `/`-separated path for reports and baselines.

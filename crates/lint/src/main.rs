@@ -19,6 +19,7 @@ OPTIONS:
     --deny-all           promote warn-level findings to fatal (the CI mode)
     --update-baseline    re-freeze the ratchet baseline to current counts
     --json               machine-readable report on stdout
+    --sarif <FILE>       also write the report as SARIF 2.1.0 (for code scanning)
     --verbose            also render waived/baselined findings
     --explain <RULE>     print a rule's full documentation
     --list-rules         list every rule with its severity
@@ -35,6 +36,7 @@ struct Opts {
     deny_all: bool,
     update_baseline: bool,
     json: bool,
+    sarif: Option<PathBuf>,
     verbose: bool,
     explain: Option<String>,
     list_rules: bool,
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Opts, String> {
         deny_all: false,
         update_baseline: false,
         json: false,
+        sarif: None,
         verbose: false,
         explain: None,
         list_rules: false,
@@ -59,6 +62,7 @@ fn parse_args() -> Result<Opts, String> {
             "--deny-all" => opts.deny_all = true,
             "--update-baseline" => opts.update_baseline = true,
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = Some(PathBuf::from(need(&mut args, "--sarif")?)),
             "--verbose" => opts.verbose = true,
             "--explain" => opts.explain = Some(need(&mut args, "--explain")?),
             "--list-rules" => opts.list_rules = true,
@@ -155,16 +159,25 @@ fn run() -> Result<ExitCode, String> {
     } else {
         print!("{}", render::human(&report, opts.deny_all, opts.verbose));
     }
+    if let Some(path) = &opts.sarif {
+        std::fs::write(path, xsi_lint::sarif::sarif(&report))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("xsi-lint: wrote SARIF report to {}", path.display());
+    }
 
     let fatal = if opts.update_baseline {
         // Ratcheted findings were just frozen; only non-baselineable
-        // rules can still fail the run.
+        // rules can still fail the run. `stale-baseline` is likewise
+        // forgiven here — the write above is exactly the pruning the
+        // rule demands, so failing the run that performs it would make
+        // the contract unsatisfiable.
         report
             .fatal(opts.deny_all)
             .filter(|f| {
-                xsi_lint::rules::info(f.rule)
-                    .map(|r| !r.baselineable)
-                    .unwrap_or(true)
+                f.rule != "stale-baseline"
+                    && xsi_lint::rules::info(f.rule)
+                        .map(|r| !r.baselineable)
+                        .unwrap_or(true)
             })
             .count()
     } else {

@@ -1,0 +1,187 @@
+//! `cow-discipline`: mutation of shareable extent storage must route
+//! through the copy-on-write gate (`make_mut` / `share` /
+//! `take_unique`), the invariant behind frozen-view correctness
+//! (DESIGN.md §11). A raw assignment or `&mut` borrow of a `.extent`
+//! field bypasses the clone-on-shared check and can mutate a run a
+//! frozen snapshot is still reading.
+//!
+//! The rule leans on a structural property of `CowVec`: it implements
+//! `Deref<Target = [T]>` but **not** `DerefMut`, so in-place mutation
+//! *methods* cannot compile outside `make_mut`. What remains
+//! expressible — and what this rule flags — is whole-handle
+//! replacement (`….extent = …`) and raw `&mut` borrows
+//! (`mem::take(&mut ….extent)`, `&mut blk.extent` escaping to a
+//! helper). See the registry entry in [`super::RULES`].
+
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
+use crate::Finding;
+
+/// In scope: the core crate, minus the store layer itself (the CowVec
+/// impl and its siblings are the gate, not its users).
+fn in_scope(path: &str) -> bool {
+    path.contains("core/src/") && !path.contains("core/src/store/")
+}
+
+pub fn run(
+    sources: &[SourceFile],
+    _table: &SymbolTable,
+    _graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    for src in sources {
+        if !in_scope(&src.rel_path) {
+            continue;
+        }
+        let toks = &src.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            if !name.is_ident("extent") {
+                continue;
+            }
+            // `.extent(` is the accessor method, not the field.
+            if toks.get(i + 2).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if src.is_test_line(name.line) {
+                continue;
+            }
+            // Replacement: `….extent = …` (but not `==` comparison).
+            if toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+                && !toks.get(i + 3).is_some_and(|n| n.is_punct('='))
+            {
+                out.push(super::finding(
+                    src,
+                    "cow-discipline",
+                    name.line,
+                    "extent storage replaced by assignment, bypassing the CoW gate \
+                     (route the write through `make_mut`, or waive with the ownership argument)"
+                        .to_string(),
+                ));
+                continue;
+            }
+            // Raw `&mut` borrow: walk back over the receiver expression
+            // (`self.blocks[src]`, `blk`, …) to a possible `&mut`.
+            let mut j = i; // at the `.` before `extent`
+            while j > 0 {
+                let p = &toks[j - 1];
+                let receiverish = match p.kind {
+                    // `mut` is the marker we are walking back *to*,
+                    // never part of the receiver expression.
+                    TokKind::Ident => !p.is_ident("mut"),
+                    TokKind::Num => true,
+                    TokKind::Punct => {
+                        p.is_punct('.') || p.is_punct('[') || p.is_punct(']') || p.is_punct(')')
+                    }
+                    _ => false,
+                };
+                if receiverish {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j >= 2 && toks[j - 1].is_ident("mut") && toks[j - 2].is_punct('&') {
+                out.push(super::finding(
+                    src,
+                    "cow-discipline",
+                    name.line,
+                    "raw `&mut` borrow of extent storage bypasses the CoW gate \
+                     (use `make_mut`, which clones shared runs first, or waive with the \
+                     ownership argument)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path.into(), PathBuf::from("/x.rs"), src);
+        let sources = vec![f];
+        let table = SymbolTable::build(&sources);
+        let graph = CallGraph::build(&table, &sources);
+        let mut out = Vec::new();
+        run(&sources, &table, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn assignment_is_flagged() {
+        let hits = lint(
+            "crates/core/src/partition.rs",
+            "impl P { fn recycle(&mut self, src: Id) { self.blocks[src].extent = recycled.into(); } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("assignment"));
+    }
+
+    #[test]
+    fn mem_take_mut_borrow_is_flagged() {
+        let hits = lint(
+            "crates/core/src/partition.rs",
+            "impl P { fn drain(&mut self, src: Id) { let e = std::mem::take(&mut self.blocks[src].extent); } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("&mut"));
+    }
+
+    #[test]
+    fn make_mut_route_is_clean() {
+        let hits = lint(
+            "crates/core/src/partition.rs",
+            "impl P { fn push(&mut self, b: Id, n: N) { self.blocks[b].extent.make_mut(&mut self.c).push(n); } }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn reads_and_comparisons_are_clean() {
+        let hits = lint(
+            "crates/core/src/partition.rs",
+            "impl P { fn check(&self, b: Id) -> bool { self.blocks[b].extent.len() == 0 && self.a.extent == self.b.extent } }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn accessor_method_calls_are_not_the_field() {
+        let hits = lint(
+            "crates/core/src/view.rs",
+            "fn f(idx: &A, b: Id) { let _ = idx.extent(b); }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn store_layer_itself_is_exempt() {
+        let hits = lint(
+            "crates/core/src/store/cow.rs",
+            "impl<T> C<T> { fn steal(&mut self) { let x = std::mem::take(&mut self.inner.extent); } }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn shared_borrow_is_clean() {
+        let hits = lint(
+            "crates/core/src/view.rs",
+            "fn f(blk: &B) -> usize { let e = &blk.extent; e.len() }",
+        );
+        // A `&` (shared) borrow reads; only `&mut` bypasses the gate.
+        // The raw field access itself is store-discipline's concern.
+        assert!(hits.is_empty());
+    }
+}

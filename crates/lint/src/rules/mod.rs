@@ -5,14 +5,19 @@
 //! Vec<Finding>)` function, a [`RuleInfo`] entry here, and a fixture
 //! triple (positive / waived / clean) under `tests/fixtures/`.
 
+pub mod cow_discipline;
 pub mod dense_side_table;
 pub mod hash_iter;
 pub mod hygiene;
 pub mod obs_coverage;
+pub mod panic_reach;
 pub mod panics;
 pub mod span_coverage;
+pub mod store_discipline;
 
+use crate::callgraph::CallGraph;
 use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
 use crate::{Finding, RuleInfo, Severity};
 
 /// Every rule the binary knows about, in reporting order.
@@ -139,6 +144,101 @@ call site is frozen in `lint-baseline.json`; new code is nudged toward \
 that names the bounding invariant.",
     },
     RuleInfo {
+        name: "panic-reach",
+        severity: Severity::Deny,
+        baselineable: true,
+        waivable: true,
+        summary: "pub entry points in engine/view/maintainers reaching live panic sites (ratcheted per entry)",
+        explain: "\
+The per-file panic rules see a `.unwrap()` where it is written; they \
+cannot see that a `pub` engine entry point reaches it three calls \
+deep. This rule runs over the phase-1 workspace symbol table and its \
+conservative name-resolution call graph: every `pub fn` in \
+`core/src/engine.rs`, `core/src/view.rs`, and the two maintainers is \
+an entry point, and each live panic site (non-test `.unwrap()`, \
+uncontracted `.expect(\"…\")`, panicking `container[index]`, or an \
+explicit `panic!`/`todo!`/`unimplemented!`) reachable from it becomes \
+one finding carrying the shortest call chain. Contract expects — \
+`expect(\"invariant: …\")` / `expect(\"checked: …\")` — are exempt, as \
+are sites whose line carries a waiver for the corresponding per-file \
+rule (a waiver argues the site safe; the baseline merely freezes it).
+
+Resolution is name+arity approximate, in the conservative direction: \
+trait-method calls fan out to every impl, and arity mismatches fall \
+back to all same-name fns. Calls that resolve to *no* workspace fn \
+are opaque and assumed non-panicking — the documented false-negative \
+class (allocation aborts, `RefCell` borrows, arithmetic overflow in \
+std/external code are invisible).
+
+Ratcheted per (entry point, rule): the baseline key is \
+`<file>#<Type::fn>`, freezing the *count of reachable sites* for that \
+entry — so a brand-new reachable unwrap fails the lint even under an \
+entry that already carries debt. Burn debt down by converting sites \
+to contract expects or `Result`s; waive a whole entry at its `pub fn` \
+line with `// xsi-lint: allow(panic-reach, <why this surface is \
+panic-acceptable>)`.",
+    },
+    RuleInfo {
+        name: "store-discipline",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "raw slot-arena / extent-storage access outside the accessor layer (one helper level deep)",
+        explain: "\
+The dense store's correctness story (DESIGN.md §10–§11) assumes every \
+extent touch goes through the owning index's accessors, where \
+generation checks and the CoW gate live. Rust's privacy rules cannot \
+enforce that: the maintainers are *child modules* of the index \
+modules, so `self.blocks[b].extent` compiles fine from \
+`akindex/maintain.rs` even though it bypasses the accessor layer. \
+This rule enforces what the compiler cannot.
+
+Tiering: the accessor layer (`core/src/store/`, `kernel.rs`, \
+`partition.rs`, `akindex/mod.rs`, `akindex/storage.rs`, \
+`oneindex/mod.rs`) may do anything — it *is* the implementation. \
+Maintainer modules (the rest of `akindex/`/`oneindex/`) may index the \
+arenas for side fields (weights, tree links: that is their job) but \
+raw `.extent` field access is flagged. Every other core file is \
+flagged for both raw `.extent` access and raw `.blocks[…]` arena \
+indexing. Calls to a helper fn whose body raw-accesses the store are \
+flagged too (one level of indirection): a helper does not launder \
+discipline. Waiving the helper's own access — arguing it safe — also \
+un-taints its callers.
+
+Fix: add (or use) an accessor on the owning index. Waive only with \
+the argument for why the raw access is sound, e.g. \
+`// xsi-lint: allow(store-discipline, FrozenBlock's own field, not \
+arena storage)`. Not baselineable: the accessor layer's boundary \
+starts clean and stays clean.",
+    },
+    RuleInfo {
+        name: "cow-discipline",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "extent storage mutated without routing through the CoW gate (make_mut/share/take_unique)",
+        explain: "\
+Frozen read views (DESIGN.md §11) stay O(1) because live blocks and \
+snapshots *share* extent runs; the only thing keeping a frozen reader \
+safe from a live writer is that every write goes through \
+`CowVec::make_mut`, which clones a shared run before mutating. \
+`CowVec` deliberately implements `Deref` but not `DerefMut`, so \
+in-place mutation *methods* cannot compile outside the gate. What \
+remains expressible is flagged here: whole-handle replacement \
+(`….extent = …`) and raw `&mut` borrows of the field \
+(`mem::take(&mut ….extent)`, `&mut blk.extent` handed to a helper) — \
+both can swap or mutate storage without the shared-run check. Scope: \
+all of `core/src/` except `core/src/store/` (the gate itself).
+
+Fix: route the write through `make_mut`, or take ownership via \
+`take_unique` (which refuses shared runs). The block-recycling paths \
+legitimately swap handles of provably unshared runs; those carry \
+waivers stating the ownership argument, e.g. \
+`// xsi-lint: allow(cow-discipline, handle swap of a run proven \
+unshared by take_unique)`. Not baselineable: a CoW bypass is a \
+use-after-free-shaped correctness bug, never debt to freeze.",
+    },
+    RuleInfo {
         name: "obs-coverage",
         severity: Severity::Deny,
         baselineable: false,
@@ -234,6 +334,42 @@ backlog is visible in one place (`xsi-lint --json | …`). Never fails \
 the run, not even under --deny-all.",
     },
     RuleInfo {
+        name: "dead-waiver",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: false,
+        summary: "waiver comments that suppress zero findings (suppression debt must shrink)",
+        explain: "\
+A waiver is a standing claim that a specific hazard on a specific \
+line was assessed and argued safe. When the code it covered is \
+refactored away, the stale comment keeps making that claim — and \
+will silently re-suppress the *next* finding that happens to land on \
+its line, without anyone re-assessing anything. This meta-rule makes \
+the lint self-auditing: any well-formed waiver that suppressed zero \
+findings in the current run (and, for the panic-site rules, exempted \
+zero panic sites from reachability) is itself a finding. Delete the \
+waiver. Not waivable, not baselineable — suppression debt can only \
+shrink.",
+    },
+    RuleInfo {
+        name: "stale-baseline",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: false,
+        summary: "baseline entries whose live count dropped to zero (re-freeze to prune)",
+        explain: "\
+The ratchet baseline freezes known debt per (file, rule) — or per \
+(entry point, rule) for `panic-reach`. When the debt is paid (count \
+drops to zero) or the file is deleted, the stale entry would quietly \
+grant future regressions a budget: a new `.unwrap()` in a \
+once-cleaned file would be absorbed by the leftover allowance. This \
+meta-rule flags every baseline entry with a positive budget and zero \
+live findings, including entries for files no longer scanned. Run \
+`xsi-lint --update-baseline` to prune them (an update run does not \
+fail on the very staleness it is about to remove). Not waivable, not \
+baselineable.",
+    },
+    RuleInfo {
         name: "bad-waiver",
         severity: Severity::Deny,
         baselineable: false,
@@ -283,6 +419,20 @@ pub fn run_all(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Run the interprocedural (phase-2) rules over the workspace symbol
+/// table and call graph. Per-file rules see one file at a time; these
+/// see all of them.
+pub fn run_interproc(
+    sources: &[SourceFile],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    panic_reach::run(sources, table, graph, out);
+    store_discipline::run(sources, table, graph, out);
+    cow_discipline::run(sources, table, graph, out);
+}
+
 /// Construct a finding for `rule` at `line`, with severity from the
 /// registry and the source line as excerpt.
 pub(crate) fn finding(f: &SourceFile, rule: &'static str, line: u32, message: String) -> Finding {
@@ -295,5 +445,6 @@ pub(crate) fn finding(f: &SourceFile, rule: &'static str, line: u32, message: St
         message,
         excerpt: f.line_text(line).trim_end().to_string(),
         suppressed: None,
+        ratchet_key: None,
     }
 }

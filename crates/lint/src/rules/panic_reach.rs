@@ -1,0 +1,168 @@
+//! `panic-reach`: interprocedural panic reachability for the public
+//! API surface. Every `pub fn` in the engine, the frozen-view layer,
+//! and the two maintainers gets one finding per live panic site its
+//! call graph can reach, each carrying the shortest call chain — so
+//! the ratchet counts the *reachable panic surface* per entry point,
+//! not just the sites syntactically inside it.
+//! See the registry entry in [`super::RULES`].
+
+use crate::callgraph::CallGraph;
+use crate::source::SourceFile;
+use crate::symbols::{SymbolTable, Visibility};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Files whose `pub fn`s are reachability entry points (suffix match,
+/// so fixture mini-workspaces exercise the rule too).
+const ENTRY_SUFFIXES: &[&str] = &[
+    "core/src/engine.rs",
+    "core/src/view.rs",
+    "core/src/oneindex/maintain.rs",
+    "core/src/akindex/maintain.rs",
+];
+
+pub fn run(sources: &[SourceFile], table: &SymbolTable, graph: &CallGraph, out: &mut Vec<Finding>) {
+    for (ei, entry) in table.fns.iter().enumerate() {
+        if entry.vis != Visibility::Public {
+            continue;
+        }
+        if !ENTRY_SUFFIXES.iter().any(|s| entry.path.ends_with(s)) {
+            continue;
+        }
+        let src = &sources[entry.file];
+        if src.is_test_line(entry.line) {
+            continue;
+        }
+        let parents = graph.reachable(ei);
+        // Per (entry-point) ratchet key: the baseline freezes a site
+        // *count* per entry, so any new reachable site fails the lint
+        // even when the entry already carries debt.
+        let key = format!("{}#{}", entry.path, entry.qual_name);
+        // `parents` is ordered by fn index == (file, line) order, so
+        // findings come out deterministic.
+        for &fi in parents.keys() {
+            let f = &table.fns[fi];
+            if f.sites.is_empty() {
+                continue;
+            }
+            let chain = render_chain(table, &parents, ei, fi);
+            for site in &f.sites {
+                let via = if fi == ei {
+                    "directly".to_string()
+                } else {
+                    format!("via {chain}")
+                };
+                let mut finding = super::finding(
+                    src,
+                    "panic-reach",
+                    entry.line,
+                    format!(
+                        "pub entry point `{}` can reach {} at {}:{} {}",
+                        entry.qual_name,
+                        site.kind.label(),
+                        f.path,
+                        site.line,
+                        via
+                    ),
+                );
+                finding.ratchet_key = Some(key.clone());
+                out.push(finding);
+            }
+        }
+    }
+}
+
+/// `entry → … → target` rendered from the BFS parent map.
+fn render_chain(
+    table: &SymbolTable,
+    parents: &BTreeMap<usize, usize>,
+    entry: usize,
+    target: usize,
+) -> String {
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != entry {
+        cur = parents[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path.iter()
+        .map(|&i| format!("`{}`", table.fns[i].qual_name))
+        .collect::<Vec<_>>()
+        .join(" \u{2192} ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path.into(), PathBuf::from("/x.rs"), src);
+        let sources = vec![f];
+        let table = SymbolTable::build(&sources);
+        let graph = CallGraph::build(&table, &sources);
+        let mut out = Vec::new();
+        run(&sources, &table, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_site_in_entry_is_reported() {
+        let hits = lint(
+            "crates/core/src/engine.rs",
+            "impl Engine { pub fn apply(&mut self) { self.x.unwrap(); } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`Engine::apply`"));
+        assert!(hits[0].message.contains("directly"));
+        assert_eq!(
+            hits[0].ratchet_key.as_deref(),
+            Some("crates/core/src/engine.rs#Engine::apply")
+        );
+    }
+
+    #[test]
+    fn transitive_site_carries_the_chain() {
+        let hits = lint(
+            "crates/core/src/engine.rs",
+            "impl Engine { pub fn apply(&mut self) { self.step(); } \
+             fn step(&mut self) { self.inner(); } \
+             fn inner(&mut self) { self.x.unwrap(); } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0]
+            .message
+            .contains("`Engine::apply` \u{2192} `Engine::step` \u{2192} `Engine::inner`"));
+    }
+
+    #[test]
+    fn contract_expect_and_private_fns_are_exempt() {
+        let hits = lint(
+            "crates/core/src/engine.rs",
+            "impl Engine { pub fn apply(&mut self) { self.q.expect(\"invariant: queue seeded\"); } \
+             fn helper(&self) { self.x.unwrap(); } }",
+        );
+        // The contract expect is not a site; `helper` is unreachable
+        // from the only entry and not itself an entry.
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn non_entry_files_are_ignored() {
+        let hits = lint(
+            "crates/core/src/kernel.rs",
+            "pub fn refine() { x.unwrap(); }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn each_reachable_site_counts_once() {
+        let hits = lint(
+            "crates/core/src/view.rs",
+            "pub fn family() { a(); } fn a() { x.unwrap(); y[0]; }",
+        );
+        assert_eq!(hits.len(), 2);
+    }
+}

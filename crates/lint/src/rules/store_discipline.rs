@@ -1,0 +1,264 @@
+//! `store-discipline`: raw access to the dense store's slot arenas and
+//! extent storage outside the accessor layer — including via one level
+//! of helper-fn indirection through the call graph.
+//!
+//! The motivation is a Rust privacy gap: the maintainers
+//! (`akindex/maintain.rs`, `oneindex/maintain.rs`) are *child modules*
+//! of the index modules that own the arenas, so the compiler lets them
+//! poke private fields (`self.blocks[b].extent`) directly. The
+//! compiler cannot enforce the accessor discipline there; this rule
+//! does. See the registry entry in [`super::RULES`].
+
+use crate::callgraph::CallGraph;
+use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
+use crate::Finding;
+
+/// Where a file sits in the store-access hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tier {
+    /// Owns the arenas (or is the kernel): all access allowed.
+    Accessor,
+    /// Maintainer modules: arena indexing for side fields is their
+    /// job, but extent storage must go through accessors.
+    Maintainer,
+    /// Every other core file: neither raw arena indexing nor raw
+    /// extent access.
+    Other,
+    /// Not part of the core crate: out of scope.
+    OutOfScope,
+}
+
+fn tier(path: &str) -> Tier {
+    const ACCESSOR_DIRS: &[&str] = &["core/src/store/"];
+    const ACCESSOR_FILES: &[&str] = &[
+        "core/src/kernel.rs",
+        "core/src/partition.rs",
+        "core/src/akindex/mod.rs",
+        "core/src/akindex/storage.rs",
+        "core/src/oneindex/mod.rs",
+    ];
+    const MAINTAINER_DIRS: &[&str] = &["core/src/akindex/", "core/src/oneindex/"];
+    if ACCESSOR_DIRS.iter().any(|d| path.contains(d))
+        || ACCESSOR_FILES.iter().any(|f| path.ends_with(f))
+    {
+        Tier::Accessor
+    } else if MAINTAINER_DIRS.iter().any(|d| path.contains(d)) {
+        Tier::Maintainer
+    } else if path.contains("core/src/") {
+        Tier::Other
+    } else {
+        Tier::OutOfScope
+    }
+}
+
+/// One raw-access hit inside a file.
+struct Hit {
+    line: u32,
+    /// Token index of the accessed field name, for owner-fn lookup.
+    tok: usize,
+    what: &'static str,
+}
+
+/// Scan a file for raw-access patterns appropriate to its tier:
+/// `.extent` field access (not the `extent()` accessor call) in
+/// maintainer + other tiers; `.blocks[` arena indexing in other tier.
+fn raw_hits(src: &SourceFile, t: Tier) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let toks = &src.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        let line = name.line;
+        if src.is_test_line(line) {
+            continue;
+        }
+        let next = toks.get(i + 2);
+        if name.is_ident("extent") && !next.is_some_and(|n| n.is_punct('(')) {
+            hits.push(Hit {
+                line,
+                tok: i + 1,
+                what: "raw `.extent` field access (use the `extent`/`share_extent`/extent-mutating accessors)",
+            });
+        } else if t == Tier::Other
+            && name.is_ident("blocks")
+            && next.is_some_and(|n| n.is_punct('['))
+        {
+            hits.push(Hit {
+                line,
+                tok: i + 1,
+                what: "raw slot-arena indexing `.blocks[…]` (route through the owning index's accessors)",
+            });
+        }
+    }
+    hits
+}
+
+pub fn run(sources: &[SourceFile], table: &SymbolTable, graph: &CallGraph, out: &mut Vec<Finding>) {
+    // Pass 1: direct hits, and the set of "dirty" fns — fns in
+    // non-accessor files whose bodies contain an *unwaived* raw access
+    // (a waiver argues the access safe, so it does not taint callers).
+    let mut dirty: Vec<bool> = vec![false; table.fns.len()];
+    for (si, src) in sources.iter().enumerate() {
+        let t = tier(&src.rel_path);
+        if matches!(t, Tier::Accessor | Tier::OutOfScope) {
+            continue;
+        }
+        for hit in raw_hits(src, t) {
+            out.push(super::finding(
+                src,
+                "store-discipline",
+                hit.line,
+                format!("{} outside the accessor layer", hit.what),
+            ));
+            if src.waived("store-discipline", hit.line) {
+                continue;
+            }
+            // Innermost fn whose body token span owns the hit (nested
+            // fns share lines with their enclosing fn).
+            let owner = table
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.file == si)
+                .filter_map(|(fi, f)| {
+                    let (open, close) = f.body?;
+                    (open <= hit.tok && hit.tok <= close).then_some((fi, close - open))
+                })
+                .min_by_key(|&(_, width)| width);
+            if let Some((fi, _)) = owner {
+                dirty[fi] = true;
+            }
+        }
+    }
+    // Pass 2: one level of helper indirection — calls from
+    // non-accessor files to dirty fns. A helper that raw-accesses the
+    // store is not a laundering device: its call sites surface too.
+    for (ci, caller) in table.fns.iter().enumerate() {
+        let t = tier(&caller.path);
+        if matches!(t, Tier::Accessor | Tier::OutOfScope) {
+            continue;
+        }
+        for call in &graph.calls[ci] {
+            let Some(&target) = call.targets.iter().find(|&&tg| dirty[tg] && tg != ci) else {
+                continue;
+            };
+            let tf = &table.fns[target];
+            out.push(super::finding(
+                &sources[caller.file],
+                "store-discipline",
+                call.line,
+                format!(
+                    "call to `{}` ({}:{}) reaches raw store access one level down \
+                     (helper indirection does not launder store discipline)",
+                    tf.qual_name, tf.path, tf.line
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p.to_string(), PathBuf::from("/x.rs"), s))
+            .collect();
+        let table = SymbolTable::build(&sources);
+        let graph = CallGraph::build(&table, &sources);
+        let mut out = Vec::new();
+        run(&sources, &table, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn maintainer_raw_extent_access_is_flagged() {
+        let hits = lint(&[(
+            "crates/core/src/akindex/maintain.rs",
+            "impl A { fn f(&mut self, b: Id) { self.blocks[b].extent.make_mut(&mut self.c).push(n); } }",
+        )]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains(".extent"));
+    }
+
+    #[test]
+    fn maintainer_arena_indexing_of_side_fields_is_allowed() {
+        let hits = lint(&[(
+            "crates/core/src/akindex/maintain.rs",
+            "impl A { fn f(&mut self, b: Id) { self.blocks[b].weight += 1; } }",
+        )]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn other_core_files_may_not_index_the_arena_at_all() {
+        let hits = lint(&[(
+            "crates/core/src/view.rs",
+            "fn peek(idx: &A, b: Id) -> u32 { idx.blocks[b].weight }",
+        )]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains(".blocks["));
+    }
+
+    #[test]
+    fn accessor_files_are_exempt() {
+        let hits = lint(&[(
+            "crates/core/src/akindex/mod.rs",
+            "impl A { pub fn extent(&self, b: Id) -> &[N] { &self.blocks[b].extent } }",
+        )]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn accessor_method_calls_are_not_field_access() {
+        let hits = lint(&[(
+            "crates/core/src/view.rs",
+            "fn f(idx: &A, b: Id) { idx.extent(b); idx.share_extent(b); }",
+        )]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn helper_indirection_flags_the_call_site() {
+        let hits = lint(&[(
+            "crates/core/src/akindex/maintain.rs",
+            "impl A { fn public_path(&mut self, b: Id) { self.poke(b); } \
+             fn poke(&mut self, b: Id) { self.blocks[b].extent.make_mut(&mut self.c).clear(); } }",
+        )]);
+        // Direct hit inside `poke` + the call-site hit in `public_path`.
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().any(|h| h.message.contains("one level down")));
+    }
+
+    #[test]
+    fn waived_helper_does_not_taint_callers() {
+        let hits = lint(&[(
+            "crates/core/src/akindex/maintain.rs",
+            "impl A { fn public_path(&mut self, b: Id) { self.poke(b); } \
+             fn poke(&mut self, b: Id) { \
+             self.blocks[b].extent.make_mut(&mut self.c).clear(); // xsi-lint: allow(store-discipline, single callee audited)\n\
+             } }",
+        )]);
+        // The direct finding still exists (lib.rs suppresses it via the
+        // waiver); no call-site finding is generated.
+        assert_eq!(hits.len(), 1);
+        assert!(!hits[0].message.contains("one level down"));
+    }
+
+    #[test]
+    fn non_core_crates_are_out_of_scope() {
+        let hits = lint(&[(
+            "crates/bench/src/main.rs",
+            "fn f(a: &A, b: Id) { a.blocks[b].extent.len(); }",
+        )]);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! SARIF 2.1.0 export (`--sarif`), hand-serialized like the rest of
+//! the output layer — no serde, tier-1 stays dependency-free.
+//!
+//! Shape contract (validated offline by `xsi_metrics_check --sarif`):
+//! one run; `tool.driver` carries the full rule registry with stable
+//! indices; every finding (live *and* suppressed) becomes a result
+//! with `ruleId`/`ruleIndex`, a `level` mapped from [`Severity`]
+//! (Deny→error, Warn→warning, Note→note), one physical location with
+//! a `startLine` region, and a `suppressions` array — empty for live
+//! findings, `inSource` for waivers, `external` for ratchet-baselined
+//! debt. GitHub code scanning hides suppressed results but keeps them
+//! queryable, which is exactly the ratchet story: frozen debt is
+//! visible, new debt annotates the PR.
+
+use crate::rules::RULES;
+use crate::{Report, Severity, Suppression};
+
+/// Render a report as a SARIF 2.1.0 JSON document.
+pub fn sarif(report: &Report) -> String {
+    let mut s = String::with_capacity(16 * 1024);
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"xsi-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/xsi/DESIGN.md#9\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        s.push_str("            {\n");
+        s.push_str(&format!("              \"id\": {},\n", quote(r.name)));
+        s.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            quote(r.summary)
+        ));
+        s.push_str(&format!(
+            "              \"defaultConfiguration\": {{ \"level\": {} }}\n",
+            quote(level(r.severity))
+        ));
+        s.push_str("            }");
+        if i + 1 < RULES.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"columnKind\": \"utf16CodeUnits\",\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let rule_index = RULES.iter().position(|r| r.name == f.rule);
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": {},\n", quote(f.rule)));
+        if let Some(ri) = rule_index {
+            s.push_str(&format!("          \"ruleIndex\": {ri},\n"));
+        }
+        s.push_str(&format!(
+            "          \"level\": {},\n",
+            quote(level(f.severity))
+        ));
+        s.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            quote(&f.message)
+        ));
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {}, \"uriBaseId\": \"SRCROOT\" }},\n",
+            quote(&f.path)
+        ));
+        s.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            f.line.max(1)
+        ));
+        s.push_str("              }\n            }\n          ],\n");
+        s.push_str("          \"suppressions\": [");
+        match f.suppressed {
+            None => {}
+            Some(Suppression::Waived) => {
+                s.push_str("\n            { \"kind\": \"inSource\" }\n          ");
+            }
+            Some(Suppression::Baselined) => {
+                s.push_str(
+                    "\n            { \"kind\": \"external\", \"justification\": \
+                     \"frozen in lint-baseline.json (ratchet)\" }\n          ",
+                );
+            }
+        }
+        s.push_str("]\n        }");
+        if i + 1 < report.findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+        Severity::Note => "note",
+    }
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+    use std::collections::BTreeMap;
+
+    fn report_with(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            files: vec!["crates/x/src/lib.rs".into()],
+            ratchet_counts: BTreeMap::new(),
+            improvements: Vec::new(),
+        }
+    }
+
+    fn fnd(rule: &'static str, suppressed: Option<Suppression>) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "a \"quoted\"\nmessage".into(),
+            excerpt: "x.unwrap()".into(),
+            suppressed,
+            ratchet_key: None,
+        }
+    }
+
+    #[test]
+    fn shape_has_schema_version_and_rules() {
+        let out = sarif(&report_with(vec![]));
+        assert!(out.contains("\"version\": \"2.1.0\""));
+        assert!(out.contains("sarif-2.1.0.json"));
+        assert!(out.contains("\"name\": \"xsi-lint\""));
+        assert!(out.contains("\"id\": \"panic-unwrap\""));
+    }
+
+    #[test]
+    fn live_and_suppressed_results_differ_in_suppressions() {
+        let out = sarif(&report_with(vec![
+            fnd("panic-unwrap", None),
+            fnd("panic-unwrap", Some(Suppression::Waived)),
+            fnd("panic-unwrap", Some(Suppression::Baselined)),
+        ]));
+        assert!(out.contains("\"suppressions\": []"));
+        assert!(out.contains("\"kind\": \"inSource\""));
+        assert!(out.contains("\"kind\": \"external\""));
+    }
+
+    #[test]
+    fn messages_are_escaped() {
+        let out = sarif(&report_with(vec![fnd("panic-unwrap", None)]));
+        assert!(out.contains("a \\\"quoted\\\"\\nmessage"));
+    }
+
+    #[test]
+    fn rule_index_points_into_the_registry() {
+        let out = sarif(&report_with(vec![fnd("hash-iter", None)]));
+        let pos = RULES.iter().position(|r| r.name == "hash-iter").unwrap();
+        assert!(out.contains(&format!("\"ruleIndex\": {pos}")));
+    }
+}

@@ -75,9 +75,15 @@ impl SourceFile {
 
     /// Does a waiver for `rule` cover `line`?
     pub fn waived(&self, rule: &str, line: u32) -> bool {
+        self.waiver_covering(rule, line).is_some()
+    }
+
+    /// Index (into `self.waivers`) of the first waiver for `rule`
+    /// covering `line` — identity matters for dead-waiver auditing.
+    pub fn waiver_covering(&self, rule: &str, line: u32) -> Option<usize> {
         self.waivers
             .iter()
-            .any(|w| w.rule == rule && w.applies_from <= line && line <= w.applies_to)
+            .position(|w| w.rule == rule && w.applies_from <= line && line <= w.applies_to)
     }
 
     /// The 1-based line's text, for report excerpts.

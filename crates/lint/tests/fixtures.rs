@@ -82,9 +82,10 @@ fn dense_side_table_fires_respects_waiver_and_ignores_clean_forms() {
 #[test]
 fn panic_rules_fire_and_accept_contract_prefixes() {
     let r = run_fixture(None);
+    // lib.rs's unwrap_positive + the maintainer fixture's lookup helper.
     assert_eq!(
         live(&r, "panic-unwrap").len(),
-        1,
+        2,
         "{:?}",
         live(&r, "panic-unwrap")
     );
@@ -145,6 +146,136 @@ fn hygiene_rules_fire() {
 }
 
 #[test]
+fn panic_reach_fires_waives_and_ratchets_per_entry_point() {
+    let r = run_fixture(None);
+    let hits = live(&r, "panic-reach");
+    // Exactly `entry_reaches_unwrap` → `lookup` → unwrap; the waived
+    // twin is suppressed and `entry_clean` only reaches a
+    // contract-prefixed expect.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/akindex/maintain.rs");
+    assert_eq!(count_suppressed(&r, "panic-reach", Suppression::Waived), 1);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reach" && f.suppressed.is_none())
+        .expect("the live finding just counted");
+    assert!(f.message.contains("entry_reaches_unwrap"), "{}", f.message);
+    assert!(
+        f.message.contains("lookup"),
+        "chain rendered: {}",
+        f.message
+    );
+    assert_eq!(
+        f.ratchet_key.as_deref(),
+        Some("crates/core/src/akindex/maintain.rs#AkIndex::entry_reaches_unwrap"),
+        "ratchets per (entry point, rule), not per file"
+    );
+    // Baselineable: freezing today's counts hides the debt…
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    let second = run_fixture(Some(frozen));
+    assert_eq!(live(&second, "panic-reach").len(), 0);
+}
+
+#[test]
+fn store_discipline_fires_direct_and_one_level_down() {
+    let r = run_fixture(None);
+    let hits = live(&r, "store-discipline");
+    // raw_touch's direct hit, via_helper's call site, and view.rs's
+    // raw peek; the waived reads and the accessor-routed fns are quiet.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "store-discipline" && f.message.contains("one level down")));
+    assert_eq!(
+        count_suppressed(&r, "store-discipline", Suppression::Waived),
+        2
+    );
+    // Not baselineable: freezing today's counts must not hide it.
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    let second = run_fixture(Some(frozen));
+    assert_eq!(live(&second, "store-discipline").len(), 3);
+}
+
+#[test]
+fn cow_discipline_fires_on_bypass_and_respects_waiver() {
+    let r = run_fixture(None);
+    let hits = live(&r, "cow-discipline");
+    // Exactly swap_in's whole-handle replacement; recycle's `&mut`
+    // take is waived and the make_mut route is clean.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/akindex/mod.rs");
+    assert_eq!(
+        count_suppressed(&r, "cow-discipline", Suppression::Waived),
+        1
+    );
+}
+
+#[test]
+fn dead_waiver_flags_the_stale_allow() {
+    let r = run_fixture(None);
+    let hits = live(&r, "dead-waiver");
+    // Exactly view.rs's cow-discipline waiver over a plain field read;
+    // every other fixture waiver suppresses at least one finding.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/view.rs");
+}
+
+#[test]
+fn stale_baseline_flags_gone_files_and_zeroed_counts() {
+    let json = r#"{
+  "version": 1,
+  "entries": {
+    "crates/core/src/gone.rs": { "slice-index": 3 },
+    "crates/core/src/lib.rs": { "panic-unwrap": 99 }
+  }
+}"#;
+    let stale = Baseline::parse(json).expect("handcrafted baseline parses");
+    let r = run_fixture(Some(stale));
+    let hits = live(&r, "stale-baseline");
+    // `gone.rs` no longer exists; lib.rs still has a live unwrap, so
+    // only the vanished file is stale.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/gone.rs");
+
+    let json = r#"{
+  "version": 1,
+  "entries": {
+    "crates/core/src/engine.rs": { "panic-unwrap": 4 }
+  }
+}"#;
+    let zeroed = Baseline::parse(json).expect("handcrafted baseline parses");
+    let r = run_fixture(Some(zeroed));
+    let hits = live(&r, "stale-baseline");
+    // engine.rs exists but has no unwraps at all: the count dropped to
+    // zero and the entry must be pruned.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/engine.rs");
+}
+
+#[test]
+fn update_baseline_prunes_stale_entries() {
+    // `from_counts` only writes groups with at least one live finding,
+    // so a re-freeze drops vanished files and zeroed rules — the
+    // mechanism `--update-baseline` relies on.
+    let r = run_fixture(None);
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    assert!(frozen.entries().keys().all(|k| !k.contains("gone")));
+    assert!(frozen
+        .entries()
+        .values()
+        .all(|rules| rules.values().all(|&n| n > 0)));
+    // And a second run under the fresh freeze reports nothing stale.
+    let second = run_fixture(Some(frozen));
+    assert_eq!(
+        live(&second, "stale-baseline").len(),
+        0,
+        "fresh freeze is never stale"
+    );
+}
+
+#[test]
 fn baseline_round_trips_and_suppresses() {
     let first = run_fixture(None);
     let frozen = Baseline::from_counts(first.ratchet_counts.clone());
@@ -182,6 +313,43 @@ fn workspace_self_run_is_clean_under_deny_all() {
         fatal.is_empty(),
         "self-run must be clean:\n{}",
         fatal.join("\n")
+    );
+}
+
+#[test]
+fn reintroducing_a_reachable_unwrap_under_an_engine_entry_fails_the_lint() {
+    // The interprocedural regression guard: a NEW pub entry point in
+    // engine.rs whose helper unwraps has no per-entry baseline key, so
+    // it must come out live and fatal even under the committed ratchet.
+    let root = workspace_root();
+    let path = root.join("crates/core/src/engine.rs");
+    let mut src = std::fs::read_to_string(&path).expect("engine.rs exists");
+    src.push_str(
+        "\nimpl RegressionProbe {\n\
+         \tpub fn regression_entry(&self, x: Option<u32>) -> u32 {\n\
+         \t\tself.fetch_unchecked(x)\n\
+         \t}\n\
+         \tfn fetch_unchecked(&self, x: Option<u32>) -> u32 {\n\
+         \t\tx.unwrap()\n\
+         \t}\n\
+         }\n",
+    );
+    let parsed = SourceFile::parse("crates/core/src/engine.rs".to_string(), path, &src);
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("committed ratchet baseline");
+    let config = LintConfig {
+        root,
+        baseline: Some(Baseline::parse(&text).expect("committed baseline parses")),
+        deny_all: true,
+    };
+    let report = xsi_lint::run_on_sources(&config, &[parsed]);
+    let fatal: Vec<&xsi_lint::Finding> = report
+        .fatal(true)
+        .filter(|f| f.rule == "panic-reach" && f.message.contains("regression_entry"))
+        .collect();
+    assert!(
+        !fatal.is_empty(),
+        "a reachable unwrap under a new engine entry point must fail the lint"
     );
 }
 

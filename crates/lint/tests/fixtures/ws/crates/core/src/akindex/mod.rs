@@ -1,0 +1,43 @@
+//! Fixture ak accessor layer: cow-discipline expectations. The path
+//! suffix (`core/src/akindex/mod.rs`) makes this accessor-tier, so
+//! store-discipline stays quiet here and the CoW cases test in
+//! isolation.
+
+pub struct Block {
+    pub extent: CowVec,
+    pub weight: u64,
+}
+
+pub struct AkIndex {
+    pub top: Block,
+    pub cow_clones: u64,
+}
+
+impl AkIndex {
+    // Clean: mutation routed through the CoW gate.
+    pub fn push_through_gate(&mut self, n: u32) {
+        self.top.extent.make_mut(&mut self.cow_clones).push(n);
+    }
+
+    // Positive: whole-handle replacement bypasses the gate.
+    pub fn swap_in(&mut self, fresh: CowVec) {
+        self.top.extent = fresh;
+    }
+
+    // Waived: the taken handle still shares with any snapshot.
+    pub fn recycle(&mut self) {
+        // xsi-lint: allow(cow-discipline, fixture: take swaps in a fresh run; snapshots keep the taken handle alive)
+        let run = std::mem::take(&mut self.top.extent);
+        drop(run);
+    }
+
+    // Clean: comparisons and shared reads are not mutations.
+    pub fn same_extent(&self, other: &Block) -> bool {
+        self.top.extent == other.extent
+    }
+
+    // The accessor the other tiers must route reads through.
+    pub fn extent(&self, _b: u32) -> &[u32] {
+        &self.top.extent
+    }
+}
