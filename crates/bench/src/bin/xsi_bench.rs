@@ -17,6 +17,20 @@
 //!   EXPERIMENTS.md "Reading a span trace in Perfetto").
 //! * `--folded-out <path>` — the span tree as collapsed-stack folded
 //!   lines (pipe into flamegraph tooling), weighted by self nanos.
+//! * `--mem-out <path>` — the standalone `xsi-mem-v1` memory/quality
+//!   artifact: per-family deep-byte categories, CoW sharing split,
+//!   iedge inline/spill split, blocks-over-minimum quality telemetry,
+//!   and the raw shape histograms (validate with
+//!   `xsi-metrics-check --mem`).
+//!
+//! Store, mem, and quality reports are published exactly once at the
+//! export point, so every artifact carries them whether or not the
+//! corresponding flag was passed.
+//!
+//! The postmortem black box is always armed: if the workload panics,
+//! the flight-recorder tail, the open span stack, and a last-gasp mem
+//! report are written as JSONL to `--postmortem-out`
+//! (default `xsi_bench.postmortem.jsonl`) and the run exits 101.
 //!
 //! Span collection is armed only when one of the span exports is
 //! requested, so plain metric runs keep the zero-cost disabled path.
@@ -32,12 +46,16 @@
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use xsi_bench::cli::Args;
+use xsi_bench::memjson::{collect_mem_rows, compact, mem_artifact_json};
 use xsi_core::obs::json::escape_into;
-use xsi_core::obs::{chrome_trace_json, folded_stacks, span, FoldWeight, SpanKind};
-use xsi_core::{AkIndex, FlightRecorder, JsonlWriter, OneIndex, PropagateOneIndex, UpdateEngine};
+use xsi_core::obs::{chrome_trace_json, folded_stacks, postmortem, span, FoldWeight, SpanKind};
+use xsi_core::{
+    AkIndex, FlightRecorder, IndexHandle, JsonlWriter, OneIndex, PropagateOneIndex, UpdateEngine,
+};
 use xsi_graph::EdgeKind;
 use xsi_workload::updates::EdgePool;
 use xsi_workload::xmark::{generate_xmark, XmarkParams};
@@ -47,6 +65,40 @@ fn write_or_die(path: &str, contents: &str) {
         eprintln!("xsi-bench: cannot write {path}: {e}");
         std::process::exit(1);
     }
+}
+
+/// The unwind path: combine the postmortem capture with whatever the
+/// engine can still tell us (flight tail, a last-gasp mem report —
+/// itself guarded, the engine may be mid-mutation) into the JSONL
+/// black box, then exit 101.
+fn dump_blackbox_and_die(
+    path: &str,
+    engine: &UpdateEngine,
+    handles: &[IndexHandle],
+    scale: f64,
+    seed: u64,
+) -> ! {
+    let tail = engine.obs().stable_trace();
+    let mem = catch_unwind(AssertUnwindSafe(|| {
+        compact(&mem_artifact_json(
+            &collect_mem_rows(engine, handles),
+            "xsi_bench",
+            scale,
+            seed,
+        ))
+    }))
+    .ok();
+    let capture = postmortem::last_capture();
+    match postmortem::write_blackbox(
+        std::path::Path::new(path),
+        capture.as_ref(),
+        &tail,
+        mem.as_deref(),
+    ) {
+        Ok(lines) => eprintln!("xsi-bench: workload panicked; black box ({lines} lines) at {path}"),
+        Err(e) => eprintln!("xsi-bench: workload panicked AND the black box failed: {e}"),
+    }
+    std::process::exit(101);
 }
 
 fn main() {
@@ -61,6 +113,15 @@ fn main() {
     let prom_out = args.str("prom-out").map(str::to_owned);
     let chrome_out = args.str("chrome-trace-out").map(str::to_owned);
     let folded_out = args.str("folded-out").map(str::to_owned);
+    let mem_out = args.str("mem-out").map(str::to_owned);
+    let postmortem_out = args
+        .str("postmortem-out")
+        .unwrap_or("xsi_bench.postmortem.jsonl")
+        .to_owned();
+
+    // Black box armed before the first engine touch: a panic anywhere
+    // in the workload snapshots message/location/open-spans pre-unwind.
+    postmortem::arm(true);
 
     let mut g = generate_xmark(&XmarkParams::new(scale, 1.0, seed));
     let mut pool = EdgePool::extract(&mut g, 0.2, seed);
@@ -109,23 +170,32 @@ fn main() {
     // Mixed workload: alternate insert/delete of pooled IDREF edges,
     // exactly the Figure 11 regime but driven through the engine.
     let t0 = Instant::now();
-    let mut applied = 0usize;
-    for _ in 0..pairs {
-        if let Some((u, v)) = pool.next_insert() {
-            if let Err(e) = engine.insert_edge(u, v, EdgeKind::IdRef) {
-                eprintln!("xsi-bench: pooled insert {u:?} -> {v:?} rejected: {e:?}");
-                std::process::exit(1);
+    // The engine stays outside the unwind boundary so the black-box
+    // writer can still read its flight recorder and mem reports after
+    // a workload panic.
+    let applied = match catch_unwind(AssertUnwindSafe(|| {
+        let mut applied = 0usize;
+        for _ in 0..pairs {
+            if let Some((u, v)) = pool.next_insert() {
+                if let Err(e) = engine.insert_edge(u, v, EdgeKind::IdRef) {
+                    eprintln!("xsi-bench: pooled insert {u:?} -> {v:?} rejected: {e:?}");
+                    std::process::exit(1);
+                }
+                applied += 1;
             }
-            applied += 1;
-        }
-        if let Some((u, v)) = pool.next_delete() {
-            if let Err(e) = engine.delete_edge(u, v) {
-                eprintln!("xsi-bench: pooled delete {u:?} -> {v:?} rejected: {e:?}");
-                std::process::exit(1);
+            if let Some((u, v)) = pool.next_delete() {
+                if let Err(e) = engine.delete_edge(u, v) {
+                    eprintln!("xsi-bench: pooled delete {u:?} -> {v:?} rejected: {e:?}");
+                    std::process::exit(1);
+                }
+                applied += 1;
             }
-            applied += 1;
         }
-    }
+        applied
+    })) {
+        Ok(applied) => applied,
+        Err(_) => dump_blackbox_and_die(&postmortem_out, &engine, &handles, scale, seed),
+    };
     let wall = t0.elapsed();
     eprintln!(
         "xsi-bench: {} ops in {:.3}s ({:.1} ops/s)",
@@ -181,19 +251,28 @@ fn main() {
 
     engine.obs_mut().flush();
 
+    // Publish the store + mem + quality reports exactly once at the
+    // export point — every artifact below (prometheus text, metrics
+    // JSON, mem artifact) then reads the same registry state whether
+    // or not its flag was passed. Publishing per-artifact would double
+    // the transplanted histogram mass.
+    let metrics = engine
+        .export_metrics_json()
+        .expect("invariant: metrics were enabled above");
+
     if let Some(path) = prom_out.as_deref() {
         let text = engine.obs().metrics_prometheus();
         write_or_die(path, &text);
         eprintln!("xsi-bench: wrote prometheus text to {path}");
     }
 
+    if let Some(path) = mem_out.as_deref() {
+        let rows = collect_mem_rows(&engine, &handles);
+        write_or_die(path, &mem_artifact_json(&rows, "xsi_bench", scale, seed));
+        eprintln!("xsi-bench: wrote mem artifact to {path}");
+    }
+
     if let Some(path) = metrics_out.as_deref() {
-        // `export_metrics_json` publishes store reports first, so the
-        // store_* gauges and probe-length histogram always land in the
-        // artifact (satellite: no more on-demand-only store telemetry).
-        let metrics = engine
-            .export_metrics_json()
-            .expect("invariant: metrics were enabled above");
         let stats = engine.stats();
         let mut out = String::new();
         out.push_str("{\n");

@@ -5,14 +5,18 @@
 //! ```text
 //! xsi_metrics_check [--metrics m.json] [--trace t.jsonl] [--prom m.prom]
 //!                   [--chrome-trace t.json] [--bench BENCH.json]
-//!                   [--sarif report.sarif]
+//!                   [--sarif report.sarif] [--mem mem.json]
 //! ```
 //!
 //! At least one input flag is required. `--chrome-trace` validates the
 //! span exporter's trace-event JSON (`xsi-chrome-trace-v1`); `--bench`
 //! validates a perf-trajectory record (`xsi-bench-trajectory-v1`);
 //! `--sarif` validates `xsi-lint --sarif` output against the SARIF
-//! 2.1.0 shape GitHub code scanning ingests.
+//! 2.1.0 shape GitHub code scanning ingests; `--mem` validates the
+//! memory/quality artifact (`xsi-mem-v1`) from `xsi_bench --mem-out` —
+//! schema *and* the accounting contract (categories sum to
+//! `total_bytes`, quality telemetry consistent, histograms the
+//! documented widths).
 
 #![forbid(unsafe_code)]
 
@@ -28,12 +32,20 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = Args::parse_env();
-    if ["metrics", "trace", "prom", "chrome-trace", "bench", "sarif"]
-        .iter()
-        .all(|f| args.str(f).is_none())
+    if [
+        "metrics",
+        "trace",
+        "prom",
+        "chrome-trace",
+        "bench",
+        "sarif",
+        "mem",
+    ]
+    .iter()
+    .all(|f| args.str(f).is_none())
     {
         return fail(
-            "nothing to check: pass --metrics / --trace / --prom / --chrome-trace / --bench / --sarif",
+            "nothing to check: pass --metrics / --trace / --prom / --chrome-trace / --bench / --sarif / --mem",
         );
     }
 
@@ -80,7 +92,164 @@ fn main() -> ExitCode {
         }
     }
 
+    // Optional memory/quality artifact from xsi_bench --mem-out.
+    if let Some(path) = args.str("mem") {
+        if let Some(code) = check_mem(path) {
+            return code;
+        }
+    }
+
     ExitCode::SUCCESS
+}
+
+/// Validates the `xsi-mem-v1` memory/quality artifact:
+///
+/// * the envelope (`format`, `bench`, `scale`, `seed`) and a non-empty
+///   `families` array;
+/// * per family, every byte-category and count key present and numeric,
+///   including the CoW shared/owned extent split and the iedge
+///   inline/spill split;
+/// * the accounting contract: the eight byte categories sum to
+///   `total_bytes` exactly (DESIGN.md §13 — disjoint and exhaustive);
+/// * quality telemetry: `blocks_over_minimum == blocks -
+///   minimum_blocks` (clamped at zero) with `minimum_blocks >= 1`;
+/// * `sharing_ratio` in [0, 1] and consistent with the byte split;
+/// * histograms at their documented widths (33 power-of-two extent
+///   buckets, 65 occupancy buckets) with extent mass bounded by the
+///   extent-run count.
+fn check_mem(path: &str) -> Option<ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return Some(fail(&format!("cannot read {path}: {e}"))),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Some(fail(&format!("{path}: not valid JSON: {e}"))),
+    };
+    if v.get("format").and_then(Json::as_str) != Some("xsi-mem-v1") {
+        return Some(fail(&format!("{path}: format must be \"xsi-mem-v1\"")));
+    }
+    if v.get("bench").and_then(Json::as_str).is_none() {
+        return Some(fail(&format!("{path}: missing bench name")));
+    }
+    for key in ["scale", "seed"] {
+        if v.get(key).and_then(Json::as_f64).is_none() {
+            return Some(fail(&format!("{path}: missing numeric {key}")));
+        }
+    }
+    let Some(families) = v.get("families").and_then(Json::as_arr) else {
+        return Some(fail(&format!("{path}: missing families array")));
+    };
+    if families.is_empty() {
+        return Some(fail(&format!("{path}: empty families array")));
+    }
+    const CATEGORIES: [&str; 8] = [
+        "extent_owned_bytes",
+        "extent_shared_bytes",
+        "iedge_spilled_bytes",
+        "side_table_bytes",
+        "scratch_bytes",
+        "slab_bytes",
+        "dead_retained_bytes",
+        "other_bytes",
+    ];
+    const COUNTS: [&str; 8] = [
+        "blocks",
+        "minimum_blocks",
+        "blocks_over_minimum",
+        "report_blocks",
+        "owned_extents",
+        "shared_extents",
+        "iedge_inline_maps",
+        "iedge_spilled_maps",
+    ];
+    for (i, f) in families.iter().enumerate() {
+        let Some(name) = f.get("family").and_then(Json::as_str) else {
+            return Some(fail(&format!("{path}: families[{i}]: missing family name")));
+        };
+        for key in CATEGORIES
+            .iter()
+            .chain(COUNTS.iter())
+            .chain(["total_bytes"].iter())
+        {
+            if f.get(key).and_then(Json::as_u64).is_none() {
+                return Some(fail(&format!(
+                    "{path}: families[{i}] ({name}): missing numeric {key}"
+                )));
+            }
+        }
+        let num = |key: &str| f.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let sum: u64 = CATEGORIES.iter().map(|k| num(k)).sum();
+        if num("total_bytes") != sum {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): categories sum to {sum}, total_bytes says {}",
+                num("total_bytes")
+            )));
+        }
+        if num("total_bytes") == 0 {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): zero total_bytes (accounting not wired?)"
+            )));
+        }
+        if num("minimum_blocks") < 1 {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): minimum_blocks must be >= 1"
+            )));
+        }
+        if num("blocks_over_minimum") != num("blocks").saturating_sub(num("minimum_blocks")) {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): blocks_over_minimum inconsistent with blocks/minimum_blocks"
+            )));
+        }
+        let Some(ratio) = f.get("sharing_ratio").and_then(Json::as_f64) else {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): missing sharing_ratio"
+            )));
+        };
+        if !(0.0..=1.0).contains(&ratio) {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): sharing_ratio {ratio} outside [0, 1]"
+            )));
+        }
+        if num("extent_shared_bytes") == 0 && ratio != 0.0 {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): nonzero sharing_ratio without shared bytes"
+            )));
+        }
+        for (key, want) in [("extent_len_hist", 33usize), ("inline_occupancy_hist", 65)] {
+            let Some(hist) = f.get(key).and_then(Json::as_arr) else {
+                return Some(fail(&format!(
+                    "{path}: families[{i}] ({name}): missing {key}"
+                )));
+            };
+            if hist.len() != want {
+                return Some(fail(&format!(
+                    "{path}: families[{i}] ({name}): {key} has {} buckets, want {want}",
+                    hist.len()
+                )));
+            }
+            if hist.iter().any(|b| b.as_u64().is_none()) {
+                return Some(fail(&format!(
+                    "{path}: families[{i}] ({name}): {key} has a non-integer bucket"
+                )));
+            }
+        }
+        let extent_mass: u64 = f
+            .get("extent_len_hist")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_u64).sum())
+            .unwrap_or(0);
+        if extent_mass > num("owned_extents") + num("shared_extents") {
+            return Some(fail(&format!(
+                "{path}: families[{i}] ({name}): extent_len_hist mass exceeds the extent-run count"
+            )));
+        }
+    }
+    println!(
+        "xsi-metrics-check: {path}: ok ({} families)",
+        families.len()
+    );
+    None
 }
 
 /// Validates a SARIF 2.1.0 log as emitted by `xsi-lint --sarif`: the

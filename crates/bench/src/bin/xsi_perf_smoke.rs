@@ -28,10 +28,12 @@
 
 #![forbid(unsafe_code)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use xsi_bench::micro::{bench_value, group, MicroResult};
 use xsi_bench::Args;
+use xsi_core::obs::postmortem;
 use xsi_core::obs::span::{self, SpanKind, SpanTree};
 use xsi_core::{AkIndex, OneIndex, StructuralIndex, UpdateEngine};
 use xsi_graph::{EdgeKind, Graph, NodeId};
@@ -112,6 +114,29 @@ fn write_artifact(path: &str, contents: &str, what: &str) {
 
 fn main() {
     let args = Args::parse_env();
+    // Black box: a panic anywhere in the benchmark body snapshots
+    // message/location/open-spans pre-unwind; the catch_unwind below
+    // dumps the capture as JSONL and exits 101 instead of losing a CI
+    // soak's evidence to the default abort message.
+    postmortem::arm(true);
+    let pm_out = args
+        .str("postmortem-out")
+        .unwrap_or("xsi_perf_smoke.postmortem.jsonl")
+        .to_owned();
+    if catch_unwind(AssertUnwindSafe(|| run(&args))).is_err() {
+        let capture = postmortem::last_capture();
+        match postmortem::write_blackbox(std::path::Path::new(&pm_out), capture.as_ref(), &[], None)
+        {
+            Ok(lines) => {
+                eprintln!("xsi_perf_smoke: panicked; black box ({lines} lines) at {pm_out}")
+            }
+            Err(e) => eprintln!("xsi_perf_smoke: panicked AND the black box failed: {e}"),
+        }
+        std::process::exit(101);
+    }
+}
+
+fn run(args: &Args) {
     let scale = args.f64("scale", 0.05);
     let seed = args.u64("seed", 42);
 
@@ -316,8 +341,9 @@ fn main() {
     }
 
     if let Some(path) = args.str("metrics-out") {
-        // Store reports are published inside export_metrics_json, so
-        // probe-length/spill telemetry always lands in the artifact.
+        // Store AND mem/quality reports are published inside
+        // export_metrics_json, so probe-length/spill telemetry and the
+        // mem_*/quality_* attribution always land in the artifact.
         match engine.export_metrics_json() {
             Some(metrics) => write_artifact(path, &metrics, "metrics registry"),
             None => {

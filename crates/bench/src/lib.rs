@@ -10,6 +10,7 @@
 
 pub mod cli;
 pub mod driver;
+pub mod memjson;
 pub mod micro;
 pub mod output;
 

@@ -1,0 +1,185 @@
+//! # `memjson` — the `xsi-mem-v1` memory/quality artifact
+//!
+//! Renders one JSON object per registered index family from its
+//! [`MemReport`]: the deep byte categories (owned/shared extent bytes,
+//! iedge inline/spill split, side tables, scratch, slab, dead
+//! retention), the sharing ratio, the quality telemetry (live blocks
+//! vs the rebuild-to-minimum oracle), and both shape histograms
+//! (power-of-two extent lengths, inline-map occupancy).
+//!
+//! The artifact is standalone — unlike the `xsi-metrics-v1` registry
+//! dump it carries the raw bucket arrays, so a report can be diffed or
+//! re-bucketed offline without replaying the run. `xsi_metrics_check
+//! --mem` validates the schema *and* the accounting contract
+//! (`total_bytes == Σ categories`, `blocks_over_minimum == blocks -
+//! minimum_blocks`), so a drifting category cannot ship silently.
+
+use xsi_core::obs::json::escape_into;
+use xsi_core::obs::mem::MemReport;
+use xsi_core::{IndexHandle, UpdateEngine};
+
+/// One family's row in the artifact: the categorized report plus the
+/// quality pair sampled at the same export point.
+pub struct MemRow {
+    /// Family name as the index describes itself (stable per family).
+    pub family: String,
+    /// The categorized deep-byte report.
+    pub report: MemReport,
+    /// Live partition blocks at the export point.
+    pub blocks: u64,
+    /// The rebuild-to-minimum oracle's block count (quality floor).
+    pub minimum_blocks: u64,
+}
+
+/// Samples a [`MemRow`] per handle; families without memory accounting
+/// (none today) are skipped rather than reported as zeros.
+///
+/// `minimum_block_count` rebuilds each index from scratch — this is an
+/// export-point operation, never a per-op one.
+pub fn collect_mem_rows(engine: &UpdateEngine, handles: &[IndexHandle]) -> Vec<MemRow> {
+    handles
+        .iter()
+        .filter_map(|&h| {
+            let idx = engine.index(h);
+            let report = idx.mem_report()?;
+            Some(MemRow {
+                family: idx.describe(),
+                // Quality numerator: the partition the index answers
+                // queries from (level-k for A(k)), matching the
+                // `mem-report` event — not the report's row count,
+                // which also walks refinement-tree ancestors.
+                blocks: idx.block_count() as u64,
+                minimum_blocks: idx.minimum_block_count(engine.graph()) as u64,
+                report,
+            })
+        })
+        .collect()
+}
+
+/// Collapses the pretty-printed artifact onto one line (strip the
+/// newline + indentation whitespace this module itself emitted; string
+/// contents never contain raw control characters — `escape_into`
+/// escapes them). The postmortem black box embeds the result as a
+/// single JSONL record.
+pub fn compact(pretty: &str) -> String {
+    pretty.lines().map(str::trim_start).collect()
+}
+
+fn push_hist(out: &mut String, key: &str, hist: &[u64]) {
+    out.push_str(&format!("      \"{key}\": ["));
+    for (i, v) in hist.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Renders the `xsi-mem-v1` artifact. The envelope records the run
+/// coordinates so a mem artifact is self-identifying next to its
+/// sibling metrics/trace artifacts.
+pub fn mem_artifact_json(rows: &[MemRow], bench: &str, scale: f64, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"format\": \"xsi-mem-v1\",\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"families\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let r = &row.report;
+        out.push_str("    {\n      \"family\": \"");
+        escape_into(&row.family, &mut out);
+        out.push_str("\",\n");
+        let scalars: [(&str, u64); 17] = [
+            ("total_bytes", r.total_bytes()),
+            ("blocks", row.blocks),
+            ("minimum_blocks", row.minimum_blocks),
+            (
+                "blocks_over_minimum",
+                row.blocks.saturating_sub(row.minimum_blocks),
+            ),
+            ("report_blocks", r.blocks),
+            ("extent_owned_bytes", r.extent_owned_bytes),
+            ("extent_shared_bytes", r.extent_shared_bytes),
+            ("owned_extents", r.owned_extents),
+            ("shared_extents", r.shared_extents),
+            ("iedge_inline_maps", r.iedge_inline_maps),
+            ("iedge_spilled_maps", r.iedge_spilled_maps),
+            ("iedge_spilled_bytes", r.iedge_spilled_bytes),
+            ("side_table_bytes", r.side_table_bytes),
+            ("scratch_bytes", r.scratch_bytes),
+            ("slab_bytes", r.slab_bytes),
+            ("dead_retained_bytes", r.dead_retained_bytes),
+            ("other_bytes", r.other_bytes),
+        ];
+        for (key, v) in scalars {
+            out.push_str(&format!("      \"{key}\": {v},\n"));
+        }
+        out.push_str(&format!(
+            "      \"sharing_ratio\": {:.6},\n",
+            r.sharing_ratio()
+        ));
+        push_hist(&mut out, "extent_len_hist", &r.extent_len_hist);
+        out.push_str(",\n");
+        push_hist(&mut out, "inline_occupancy_hist", &r.inline_occupancy_hist);
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsi_core::obs::json::Json;
+    use xsi_core::OneIndex;
+    use xsi_workload::{generate_xmark, XmarkParams};
+
+    #[test]
+    fn artifact_parses_and_carries_the_contract() {
+        let g = generate_xmark(&XmarkParams::new(0.01, 0.05, 7));
+        let mut engine = UpdateEngine::new(g);
+        let h = engine.register(Box::new(OneIndex::build(engine.graph())));
+        let rows = collect_mem_rows(&engine, &[h]);
+        assert_eq!(rows.len(), 1);
+        let text = mem_artifact_json(&rows, "unit", 0.01, 7);
+        let v = Json::parse(&text).expect("artifact is valid JSON");
+        assert_eq!(v.get("format").and_then(Json::as_str), Some("xsi-mem-v1"));
+        let fams = v.get("families").and_then(Json::as_arr).unwrap();
+        assert_eq!(fams.len(), 1);
+        let f = &fams[0];
+        let num = |k: &str| f.get(k).and_then(Json::as_u64).unwrap();
+        let sum = num("extent_owned_bytes")
+            + num("extent_shared_bytes")
+            + num("iedge_spilled_bytes")
+            + num("side_table_bytes")
+            + num("scratch_bytes")
+            + num("slab_bytes")
+            + num("dead_retained_bytes")
+            + num("other_bytes");
+        assert_eq!(num("total_bytes"), sum, "categories are exhaustive");
+        assert_eq!(
+            num("blocks_over_minimum"),
+            num("blocks") - num("minimum_blocks")
+        );
+        assert_eq!(
+            f.get("extent_len_hist")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            xsi_core::obs::mem::EXTENT_BUCKETS
+        );
+        assert_eq!(
+            f.get("inline_occupancy_hist")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            xsi_core::obs::mem::OCCUPANCY_BUCKETS
+        );
+    }
+}

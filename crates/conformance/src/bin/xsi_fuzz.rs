@@ -6,6 +6,7 @@
 //!          [--shrink-budget N] [--out DIR]
 //! xsi-fuzz --replay FILE
 //! xsi-fuzz --mutation-smoke [--seed N] [--out DIR]
+//! xsi-fuzz --postmortem-selftest [--out DIR]
 //! ```
 //!
 //! * **fuzz mode** (default): runs `--cases` seed-derived scenarios
@@ -20,6 +21,11 @@
 //!   the lab convicts it, shrinks to ≤ 10 ops, writes the reproducer,
 //!   re-parses it, and verifies the replay fails deterministically with
 //!   the same check. Exits 0 only if every planted bug is caught.
+//! * **postmortem-selftest mode**: plants a panic under an open span,
+//!   proves the black-box hook captured it (message, location, span
+//!   stack), writes the JSONL dump, and re-parses every line. Exits 0
+//!   only when the whole capture → dump → parse loop closes; CI runs
+//!   this so a broken black box cannot lurk until the first real crash.
 //!
 //! All randomness is SplitMix64 on the given seed; two runs with the
 //! same flags are identical.
@@ -50,6 +56,7 @@ struct Args {
     out: std::path::PathBuf,
     replay: Option<std::path::PathBuf>,
     mutation_smoke: bool,
+    postmortem_selftest: bool,
 }
 
 fn usage() -> ! {
@@ -57,7 +64,8 @@ fn usage() -> ! {
         "usage: xsi-fuzz [--seed N] [--cases N | --soak DUR] [--k N]\n\
          \x20               [--cyclic-only | --acyclic-only] [--shrink-budget N] [--out DIR]\n\
          \x20      xsi-fuzz --replay FILE\n\
-         \x20      xsi-fuzz --mutation-smoke [--seed N] [--out DIR]"
+         \x20      xsi-fuzz --mutation-smoke [--seed N] [--out DIR]\n\
+         \x20      xsi-fuzz --postmortem-selftest [--out DIR]"
     );
     std::process::exit(2)
 }
@@ -83,6 +91,7 @@ fn parse_args() -> Args {
         out: "target/conformance".into(),
         replay: None,
         mutation_smoke: false,
+        postmortem_selftest: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,6 +128,7 @@ fn parse_args() -> Args {
             "--out" => args.out = value("--out").into(),
             "--replay" => args.replay = Some(value("--replay").into()),
             "--mutation-smoke" => args.mutation_smoke = true,
+            "--postmortem-selftest" => args.postmortem_selftest = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -136,6 +146,8 @@ fn main() {
         replay_mode(path)
     } else if args.mutation_smoke {
         mutation_smoke(&args)
+    } else if args.postmortem_selftest {
+        postmortem_selftest(&args.out)
     } else {
         fuzz(&args)
     };
@@ -192,6 +204,99 @@ fn fuzz(args: &Args) -> i32 {
     0
 }
 
+/// Proves the postmortem black box end to end on a planted panic: the
+/// silent hook (installed by `silence_panics` in `main`) must capture
+/// message, location, and the open span stack; the JSONL dump must
+/// write; and every written line must re-parse with the in-repo JSON
+/// reader. Exit 0 only when the whole loop closes.
+fn postmortem_selftest(out: &std::path::Path) -> i32 {
+    use xsi_core::obs::json::Json;
+    use xsi_core::obs::postmortem;
+    use xsi_core::obs::span::{self, SpanGuard, SpanKind};
+
+    postmortem::clear();
+    span::begin_collection();
+    let unwound = std::panic::catch_unwind(|| {
+        let _sp = SpanGuard::enter(SpanKind::Op);
+        panic!("postmortem selftest: planted panic");
+    });
+    let _ = span::end_collection();
+    if unwound.is_ok() {
+        eprintln!("postmortem-selftest: the planted panic did not fire");
+        return 1;
+    }
+    let Some(cap) = postmortem::last_capture() else {
+        eprintln!("postmortem-selftest: the hook did not capture the panic");
+        return 1;
+    };
+    if !cap.message.contains("planted panic") {
+        eprintln!(
+            "postmortem-selftest: wrong message captured: {:?}",
+            cap.message
+        );
+        return 1;
+    }
+    if cap.location.is_empty() {
+        eprintln!("postmortem-selftest: no panic location captured");
+        return 1;
+    }
+    if cap.open_spans.is_empty() {
+        eprintln!("postmortem-selftest: open span stack empty (hook ran after unwind?)");
+        return 1;
+    }
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("postmortem-selftest: cannot create {}: {e}", out.display());
+        return 1;
+    }
+    let path = out.join("postmortem-selftest.jsonl");
+    let tail = vec!["{\"event\":\"selftest\"}".to_string()];
+    let written =
+        match postmortem::write_blackbox(&path, Some(&cap), &tail, Some("{\"total_bytes\":0}")) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("postmortem-selftest: black box write failed: {e}");
+                return 1;
+            }
+        };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("postmortem-selftest: cannot re-read the black box: {e}");
+            return 1;
+        }
+    };
+    let mut kinds = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match Json::parse(line) {
+            Ok(v) => kinds.push(
+                v.get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            ),
+            Err(e) => {
+                eprintln!("postmortem-selftest: line {} does not parse: {e}", i + 1);
+                return 1;
+            }
+        }
+    }
+    if kinds.len() != written || kinds.first().map(String::as_str) != Some("panic") {
+        eprintln!("postmortem-selftest: dump shape wrong: {kinds:?} ({written} written)");
+        return 1;
+    }
+    if !kinds.iter().any(|k| k == "trace") || !kinds.iter().any(|k| k == "mem-report") {
+        eprintln!("postmortem-selftest: dump missing trace/mem-report lines: {kinds:?}");
+        return 1;
+    }
+    println!(
+        "postmortem-selftest: ok ({} lines, {} open spans) at {}",
+        written,
+        cap.open_spans.len(),
+        path.display()
+    );
+    0
+}
+
 /// Shrinks a failing scenario and writes the reproducer pair; always
 /// returns exit code 1.
 fn report_failure(scenario: &Scenario, args: &Args) -> i32 {
@@ -209,6 +314,16 @@ fn report_failure(scenario: &Scenario, args: &Args) -> i32 {
     // Re-run the shrunken scenario with the flight recorder on so the
     // reproducer carries the engine's own account of the failing op.
     let (_, trace) = run_scenario_traced(&result.scenario);
+    // Panic failures also get the black box: the silent hook captured
+    // the traced re-run's panic site + open spans, and the flight tail
+    // above is exactly the pre-crash event stream.
+    if let Some(cap) = xsi_core::obs::postmortem::last_capture() {
+        let bb = args.out.join("blackbox.jsonl");
+        match xsi_core::obs::postmortem::write_blackbox(&bb, Some(&cap), &trace, None) {
+            Ok(lines) => println!("black box ({lines} lines): {}", bb.display()),
+            Err(e) => println!("warning: could not write the black box: {e}"),
+        }
+    }
     match write_repro(
         &result.scenario,
         &result.failure.to_string(),

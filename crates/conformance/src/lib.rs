@@ -52,10 +52,14 @@ pub use scenario::{Scenario, ScenarioOp};
 pub use shrink::{shrink, ShrinkResult};
 pub use view::DerivedView;
 
-/// Installs a no-op panic hook so expected panics (the harness converts
-/// them into shrinkable [`Failure`]s) do not spam stderr during soak
-/// runs and shrinking. Global and irreversible by design — call it from
-/// binaries and tests that probe failing scenarios on purpose.
+/// Installs the silent postmortem hook: expected panics (the harness
+/// converts them into shrinkable [`Failure`]s) stop spamming stderr
+/// during soak runs and shrinking, but each one is still *captured* —
+/// message, location, thread, open span stack — into the black-box slot
+/// ([`xsi_core::obs::postmortem::last_capture`]), so the driver can
+/// dump a postmortem for the final failure it reports. Global and
+/// irreversible by design — call it from binaries and tests that probe
+/// failing scenarios on purpose.
 pub fn silence_panics() {
-    std::panic::set_hook(Box::new(|_| {}));
+    xsi_core::obs::postmortem::arm(false);
 }

@@ -35,6 +35,7 @@ pub mod subgraph;
 pub use simple::SimpleAkIndex;
 pub use storage::StorageReport;
 
+use crate::obs::mem::{btree_set_heap, vec_cap_heap, HeapUse, MemReport};
 use crate::store::{CowVec, IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -136,6 +137,19 @@ impl Default for ABlock {
             succ_intra: IedgeMap::new(),
             pred_intra: IedgeMap::new(),
         }
+    }
+}
+
+impl HeapUse for ABlock {
+    /// The block's heap payload: extent run, all four iedge maps, and
+    /// the refinement-tree child set. The struct itself is slab-resident.
+    fn heap_use(&self) -> usize {
+        self.extent.heap_bytes()
+            + self.pred_cross.heap_use()
+            + self.succ_cross.heap_use()
+            + self.pred_intra.heap_use()
+            + self.succ_intra.heap_use()
+            + btree_set_heap::<ABlockId>(self.tree_children.len())
     }
 }
 
@@ -445,6 +459,65 @@ impl AkIndex {
                 + u64::from(blk.pred_intra.spill_count())
                 + u64::from(blk.succ_intra.spill_count());
         }
+        r
+    }
+
+    /// Deep heap bytes owned by the refinement tree (capacity-based);
+    /// the decomposed view is [`AkIndex::mem_report`].
+    pub fn heap_use(&self) -> usize {
+        self.blocks.heap_use()
+            + vec_cap_heap(&self.level_counts)
+            + vec_cap_heap(&self.node_block)
+            + vec_cap_heap(&self.node_pos)
+            + vec_cap_heap(&self.mark)
+            + self.split_counts.heap_use()
+            + self.split_full.heap_use()
+            + self.split_partner.heap_use()
+    }
+
+    /// A point-in-time deep-memory attribution of the whole tree, per
+    /// the accounting contract in DESIGN.md §13. Level-`k` blocks land
+    /// in the extent histogram; interior blocks carry placeholder runs
+    /// whose bytes are attributed without a histogram entry.
+    /// [`MemReport::total_bytes`] equals [`AkIndex::heap_use`] exactly.
+    pub fn mem_report(&self) -> MemReport {
+        let mut r = MemReport::default();
+        let mut live_payload = 0usize;
+        for (_, blk) in self.blocks.iter() {
+            r.blocks += 1;
+            if blk.level as usize == self.k {
+                r.record_extent(
+                    blk.extent.len(),
+                    blk.extent.heap_bytes(),
+                    blk.extent.is_shared(),
+                );
+            } else {
+                r.add_extent_bytes(blk.extent.heap_bytes(), blk.extent.is_shared());
+            }
+            for m in [
+                &blk.pred_cross,
+                &blk.succ_cross,
+                &blk.pred_intra,
+                &blk.succ_intra,
+            ] {
+                match m.inline_occupancy() {
+                    Some(occ) => r.record_inline_map(occ),
+                    None => r.record_spilled_map(m.heap_use()),
+                }
+            }
+            r.side_table_bytes += btree_set_heap::<ABlockId>(blk.tree_children.len()) as u64;
+            live_payload += blk.heap_use();
+        }
+        let all_payload: usize = self.blocks.iter_all_slots().map(ABlock::heap_use).sum();
+        r.dead_retained_bytes = (all_payload - live_payload) as u64;
+        r.slab_bytes = self.blocks.shell_bytes() as u64;
+        r.side_table_bytes += (vec_cap_heap(&self.level_counts)
+            + vec_cap_heap(&self.node_block)
+            + vec_cap_heap(&self.node_pos)
+            + vec_cap_heap(&self.mark)) as u64;
+        r.scratch_bytes = (self.split_counts.heap_use()
+            + self.split_full.heap_use()
+            + self.split_partner.heap_use()) as u64;
         r
     }
 

@@ -303,6 +303,36 @@ impl SimpleAkIndex {
         }
     }
 
+    /// Deep heap bytes (capacity-based); the decomposed view is
+    /// [`SimpleAkIndex::mem_report`]. The per-update [`SignatureMemo`]
+    /// is transient and deliberately uncounted (DESIGN.md §13).
+    pub fn heap_use(&self) -> usize {
+        use crate::obs::mem::{hash_map_heap, vec_cap_heap};
+        vec_cap_heap(&self.node_block)
+            + hash_map_heap::<u32, Vec<NodeId>>(self.members.capacity())
+            + self.members.values().map(vec_cap_heap).sum::<usize>()
+    }
+
+    /// Deep-memory attribution for the baseline: every extent is a plain
+    /// owned `Vec` (this index never freezes shared runs), the hash-map
+    /// shell goes to `other_bytes`, and the node→block table is the one
+    /// side table. [`MemReport::total_bytes`] equals
+    /// [`SimpleAkIndex::heap_use`] exactly.
+    pub fn mem_report(&self) -> crate::obs::mem::MemReport {
+        use crate::obs::mem::{hash_map_heap, vec_cap_heap, MemReport};
+        let mut r = MemReport::default();
+        let mut ids: Vec<u32> = self.members.keys().copied().collect();
+        ids.sort_unstable();
+        for b in ids {
+            let extent = &self.members[&b];
+            r.blocks += 1;
+            r.record_extent(extent.len(), vec_cap_heap(extent), false);
+        }
+        r.side_table_bytes = vec_cap_heap(&self.node_block) as u64;
+        r.other_bytes = hash_map_heap::<u32, Vec<NodeId>>(self.members.capacity()) as u64;
+        r
+    }
+
     /// The partition in canonical form (for validity checks in tests).
     pub fn canonical(&self, _g: &Graph) -> Vec<Vec<NodeId>> {
         let mut out: Vec<Vec<NodeId>> = self.members.values().cloned().collect();

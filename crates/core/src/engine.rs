@@ -38,6 +38,8 @@
 use crate::batch::{self, BatchError, BatchResult, UpdateOp};
 use crate::index::StructuralIndex;
 use crate::obs::event::{EventPayload, IndexFamily, OpKind};
+use crate::obs::mem::{self, HeapUse};
+use crate::obs::metrics::MetricKey;
 use crate::obs::span::{SpanGuard, SpanKind};
 use crate::obs::{clamp32, ObsHub};
 use crate::rebuild::RebuildPolicy;
@@ -357,15 +359,68 @@ impl UpdateEngine {
         }
     }
 
-    /// One-stop metrics export: publishes store reports first (so the
-    /// `store_probe_len`/spill telemetry the ROADMAP IedgeMap sweep
-    /// needs is always current, not only when a caller remembered
-    /// [`UpdateEngine::publish_store_reports`]), then renders the
-    /// metrics registry as JSON. Returns `None` when metrics were never
-    /// enabled.
+    /// Publishes one `mem-report` event per registered index with
+    /// memory accounting ([`StructuralIndex::mem_report`]): deep byte
+    /// categories and the quality telemetry (live blocks vs the
+    /// rebuild-to-minimum oracle) land as `mem_*`/`quality_*` gauges,
+    /// and the report's extent-length and inline-occupancy histograms
+    /// are transplanted into the registry bucket-for-bucket. On-demand,
+    /// like [`UpdateEngine::publish_store_reports`]: the report walks
+    /// every slot, and `minimum_block_count` *rebuilds* the index — this
+    /// is an export-point operation, never a per-op one. A no-op while
+    /// the obs hub is inactive.
+    pub fn publish_mem_reports(&mut self) {
+        if !self.obs.is_active() {
+            return;
+        }
+        for e in &self.entries {
+            let Some(r) = e.index.mem_report() else {
+                continue;
+            };
+            let family = e.family;
+            let blocks = e.index.block_count();
+            let minimum = e.index.minimum_block_count(&self.g);
+            if let Some(m) = self.obs.metrics_mut() {
+                for (b, &c) in r.extent_len_hist.iter().enumerate() {
+                    m.observe_n(
+                        MetricKey::named("mem_extent_len").family(family),
+                        mem::pow2_bucket_floor(b),
+                        c,
+                    );
+                }
+                for (occ, &c) in r.inline_occupancy_hist.iter().enumerate() {
+                    m.observe_n(
+                        MetricKey::named("mem_iedge_inline_occupancy").family(family),
+                        occ as u64,
+                        c,
+                    );
+                }
+            }
+            self.obs.emit(EventPayload::MemReport {
+                family,
+                total_bytes: r.total_bytes(),
+                extent_owned_bytes: r.extent_owned_bytes,
+                extent_shared_bytes: r.extent_shared_bytes,
+                iedge_spilled_bytes: r.iedge_spilled_bytes,
+                inline_maps: clamp32(r.iedge_inline_maps as usize),
+                spilled_maps: clamp32(r.iedge_spilled_maps as usize),
+                shared_extents: clamp32(r.shared_extents as usize),
+                blocks: clamp32(blocks),
+                minimum_blocks: clamp32(minimum),
+            });
+        }
+    }
+
+    /// One-stop metrics export: publishes store and mem reports first
+    /// (so the `store_probe_len`/spill telemetry the ROADMAP IedgeMap
+    /// sweep needs — and the `mem_*`/`quality_*` attribution — is
+    /// always current, not only when a caller remembered the publish
+    /// calls), then renders the metrics registry as JSON. Returns
+    /// `None` when metrics were never enabled.
     pub fn export_metrics_json(&mut self) -> Option<String> {
         self.obs.metrics()?;
         self.publish_store_reports();
+        self.publish_mem_reports();
         Some(self.obs.metrics_json())
     }
 
@@ -398,6 +453,16 @@ impl UpdateEngine {
                     cow_clones: e.index.cow_clones(),
                     nanos: t.elapsed().as_nanos() as u64,
                 });
+                // Snapshot retention is attributed to the snapshot side
+                // (the live index's MemReport reports the same runs as
+                // "shared"); the gauge tracks the latest freeze.
+                let retained = s.heap_use();
+                if let Some(m) = self.obs.metrics_mut() {
+                    m.gauge_set(
+                        MetricKey::named("snapshot_retained_bytes").family(e.family),
+                        retained as f64,
+                    );
+                }
             }
             out.push(snap);
         }
@@ -503,6 +568,21 @@ impl UpdateEngine {
                 }
             }
         }
+    }
+}
+
+impl HeapUse for UpdateEngine {
+    /// The registration-table shell plus each registered index's deep
+    /// bytes (via its mem report). The graph, per-index stats and the
+    /// obs hub itself are deliberately uncounted — see DESIGN.md §13.
+    fn heap_use(&self) -> usize {
+        mem::vec_cap_heap(&self.entries)
+            + self
+                .entries
+                .iter()
+                .filter_map(|e| e.index.mem_report())
+                .map(|r| r.total_bytes() as usize)
+                .sum::<usize>()
     }
 }
 
@@ -686,6 +766,70 @@ mod tests {
     }
 
     #[test]
+    fn mem_reports_land_in_metrics() {
+        use crate::obs::event::IndexFamily;
+        use crate::obs::MetricKey;
+        let (g, ids) = host();
+        let mut engine = UpdateEngine::new(g);
+        engine.obs_mut().enable_metrics();
+        engine.register(Box::new(OneIndex::build(engine.graph())));
+        engine.register(Box::new(SimpleAkIndex::build(engine.graph(), 2)));
+        engine.delete_edge(ids[&4], ids[&2]).unwrap();
+        engine.publish_mem_reports();
+        let m = engine.obs().metrics().unwrap();
+        for fam in [IndexFamily(0), IndexFamily(1)] {
+            let total = m
+                .gauge_value(&MetricKey::named("mem_total_bytes").family(fam))
+                .expect("every registered family publishes a mem report");
+            assert!(total > 0.0);
+            let blocks = m
+                .gauge_value(&MetricKey::named("mem_blocks").family(fam))
+                .unwrap();
+            let minimum = m
+                .gauge_value(&MetricKey::named("quality_minimum_blocks").family(fam))
+                .unwrap();
+            let over = m
+                .gauge_value(&MetricKey::named("quality_blocks_over_minimum").family(fam))
+                .unwrap();
+            assert!(minimum > 0.0);
+            assert_eq!(over, (blocks - minimum).max(0.0));
+            let hist = m
+                .histogram(&MetricKey::named("mem_extent_len").family(fam))
+                .expect("extent-length histogram transplanted");
+            assert_eq!(hist.count, blocks as u64, "one sample per live block");
+        }
+        // Only the 1-index keeps iedge maps; its inline-occupancy
+        // histogram has one sample per live map (2 maps per block).
+        let one = IndexFamily(0);
+        let occ = m
+            .histogram(&MetricKey::named("mem_iedge_inline_occupancy").family(one))
+            .unwrap();
+        let inline = m
+            .gauge_value(&MetricKey::named("mem_iedge_inline_maps").family(one))
+            .unwrap();
+        assert_eq!(occ.count, inline as u64);
+        assert!(m
+            .gauge_value(&MetricKey::named("mem_iedge_inline_occupancy").family(IndexFamily(1)))
+            .is_none());
+        // Engine-level accounting sums the per-index totals.
+        let t0 = m
+            .gauge_value(&MetricKey::named("mem_total_bytes").family(IndexFamily(0)))
+            .unwrap();
+        let t1 = m
+            .gauge_value(&MetricKey::named("mem_total_bytes").family(IndexFamily(1)))
+            .unwrap();
+        assert_eq!(
+            engine.heap_use(),
+            mem::vec_cap_heap(&engine.entries) + t0 as usize + t1 as usize
+        );
+        // Publishing with the hub inactive is a no-op.
+        let mut silent = UpdateEngine::new(host().0);
+        silent.register(Box::new(OneIndex::build(silent.graph())));
+        silent.publish_mem_reports();
+        assert_eq!(silent.obs().events_emitted(), 0);
+    }
+
+    #[test]
     fn freeze_returns_snapshots_and_lands_in_metrics() {
         use crate::obs::event::IndexFamily;
         use crate::obs::MetricKey;
@@ -723,6 +867,10 @@ mod tests {
                 Some(0.0),
                 "freeze copies no extent runs up front"
             );
+            let retained = m
+                .gauge_value(&MetricKey::named("snapshot_retained_bytes").family(fam))
+                .expect("snapshot retention gauge recorded");
+            assert!(retained > 0.0);
         }
         // Freezing with the hub inactive still returns snapshots but
         // emits nothing.

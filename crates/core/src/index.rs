@@ -31,6 +31,7 @@
 
 use crate::akindex::{AkIndex, SimpleAkIndex};
 use crate::check;
+use crate::obs::mem::MemReport;
 use crate::oneindex::OneIndex;
 use crate::rebuild::reconstruct_1index;
 use crate::stats::UpdateStats;
@@ -90,6 +91,15 @@ pub trait StructuralIndex {
     /// lengths — see [`StoreReport`]), or `None` for families that keep
     /// no iedge maps. Cheap: one pass over the block table.
     fn store_report(&self) -> Option<StoreReport> {
+        None
+    }
+
+    /// A point-in-time deep-memory attribution of the index (extent
+    /// bytes split shared/owned, iedge inline/spill split, side tables,
+    /// slab shell, dead-slot retention — see [`MemReport`] and DESIGN.md
+    /// §13), or `None` for families without accounting. The report's
+    /// `total_bytes()` equals the structure's deep `heap_use()` exactly.
+    fn mem_report(&self) -> Option<MemReport> {
         None
     }
 
@@ -191,6 +201,10 @@ impl StructuralIndex for OneIndex {
 
     fn store_report(&self) -> Option<StoreReport> {
         Some(self.partition().store_report())
+    }
+
+    fn mem_report(&self) -> Option<MemReport> {
+        Some(self.partition().mem_report())
     }
 
     fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
@@ -313,6 +327,10 @@ impl StructuralIndex for PropagateOneIndex {
         Some(self.0.partition().store_report())
     }
 
+    fn mem_report(&self) -> Option<MemReport> {
+        Some(self.0.partition().mem_report())
+    }
+
     fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
         Some(IndexSnapshot::from_one_index(g, &self.0, self.describe()))
     }
@@ -378,6 +396,10 @@ impl StructuralIndex for AkIndex {
 
     fn store_report(&self) -> Option<StoreReport> {
         Some(AkIndex::store_report(self))
+    }
+
+    fn mem_report(&self) -> Option<MemReport> {
+        Some(AkIndex::mem_report(self))
     }
 
     fn freeze(&self, g: &Graph) -> Option<IndexSnapshot> {
@@ -459,6 +481,10 @@ impl StructuralIndex for SimpleAkIndex {
 
     fn check(&self, g: &Graph) -> Result<(), String> {
         self.check_consistency(g)
+    }
+
+    fn mem_report(&self) -> Option<MemReport> {
+        Some(SimpleAkIndex::mem_report(self))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

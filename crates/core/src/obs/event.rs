@@ -85,6 +85,11 @@ pub mod callsite {
         id: 10,
         name: "snapshot-freeze",
     };
+    /// One index published a deep-memory attribution report.
+    pub const MEM_REPORT: CallsiteId = CallsiteId {
+        id: 11,
+        name: "mem-report",
+    };
 }
 
 /// Compact handle to a registered index family (slot order of
@@ -268,6 +273,36 @@ pub enum EventPayload {
         /// Wall-clock nanoseconds inside the freeze.
         nanos: u64,
     },
+    /// The scalar aggregates of one index's point-in-time
+    /// [`crate::obs::mem::MemReport`] (emitted on demand by
+    /// [`crate::engine::UpdateEngine::publish_mem_reports`]; the
+    /// histograms ride the metrics registry instead — the payload stays
+    /// two-words-ish `Copy`).
+    MemReport {
+        /// Which registered index.
+        family: IndexFamily,
+        /// Sum of every byte category; equals the structure's deep
+        /// `heap_use()` per the DESIGN.md §13 contract.
+        total_bytes: u64,
+        /// Extent-run bytes owned solely by the live index.
+        extent_owned_bytes: u64,
+        /// Extent-run bytes co-held by frozen snapshots (counted once
+        /// per run).
+        extent_shared_bytes: u64,
+        /// Estimated bytes in spilled iedge maps.
+        iedge_spilled_bytes: u64,
+        /// Live iedge maps in the inline (zero-heap) representation.
+        inline_maps: u32,
+        /// Live iedge maps spilled to the sorted-map representation.
+        spilled_maps: u32,
+        /// Extent runs currently shared with a snapshot.
+        shared_extents: u32,
+        /// Live blocks scanned.
+        blocks: u32,
+        /// Size of the freshly rebuilt minimum index (the quality
+        /// denominator); `blocks - minimum_blocks` is the excess.
+        minimum_blocks: u32,
+    },
 }
 
 impl EventPayload {
@@ -284,6 +319,7 @@ impl EventPayload {
             EventPayload::OracleCheck { .. } => callsite::ORACLE_CHECK,
             EventPayload::StoreReport { .. } => callsite::STORE_REPORT,
             EventPayload::SnapshotFreeze { .. } => callsite::SNAPSHOT_FREEZE,
+            EventPayload::MemReport { .. } => callsite::MEM_REPORT,
         }
     }
 }
@@ -420,6 +456,29 @@ impl Event {
                 field_num(&mut out, "cow_clones", cow_clones);
                 field_num(&mut out, "nanos", nanos);
             }
+            EventPayload::MemReport {
+                family,
+                total_bytes,
+                extent_owned_bytes,
+                extent_shared_bytes,
+                iedge_spilled_bytes,
+                inline_maps,
+                spilled_maps,
+                shared_extents,
+                blocks,
+                minimum_blocks,
+            } => {
+                field_str(&mut out, "family", &family_name(family));
+                field_num(&mut out, "total_bytes", total_bytes);
+                field_num(&mut out, "extent_owned_bytes", extent_owned_bytes);
+                field_num(&mut out, "extent_shared_bytes", extent_shared_bytes);
+                field_num(&mut out, "iedge_spilled_bytes", iedge_spilled_bytes);
+                field_num(&mut out, "inline_maps", inline_maps.into());
+                field_num(&mut out, "spilled_maps", spilled_maps.into());
+                field_num(&mut out, "shared_extents", shared_extents.into());
+                field_num(&mut out, "blocks", blocks.into());
+                field_num(&mut out, "minimum_blocks", minimum_blocks.into());
+            }
         }
         out.push('}');
         out
@@ -525,6 +584,23 @@ impl Event {
                     family_name(family)
                 ));
             }
+            EventPayload::MemReport {
+                family,
+                total_bytes,
+                extent_owned_bytes,
+                extent_shared_bytes,
+                iedge_spilled_bytes,
+                inline_maps,
+                spilled_maps,
+                shared_extents,
+                blocks,
+                minimum_blocks,
+            } => {
+                s.push_str(&format!(
+                    " family={} total={total_bytes} owned={extent_owned_bytes}                      shared={extent_shared_bytes} spilled_bytes={iedge_spilled_bytes}                      inline={inline_maps} spilled={spilled_maps}                      shared_extents={shared_extents} blocks={blocks}                      minimum={minimum_blocks}",
+                    family_name(family)
+                ));
+            }
         }
         s
     }
@@ -556,6 +632,7 @@ mod tests {
             callsite::ORACLE_CHECK,
             callsite::STORE_REPORT,
             callsite::SNAPSHOT_FREEZE,
+            callsite::MEM_REPORT,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -79,6 +79,19 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `count` identical samples at `v`. Buckets, count, sum
+    /// and max update exactly as `count` calls of [`Histogram::observe`]
+    /// would.
+    pub fn observe_n(&mut self, v: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += count;
+        self.count += count;
+        self.sum = self.sum.saturating_add(v.saturating_mul(count));
+        self.max = self.max.max(v);
+    }
+
     /// Estimated quantile `q` ∈ [0, 1]: the upper bound of the first
     /// bucket whose cumulative count reaches `q · count`, clamped to
     /// the exact maximum. Returns 0 for an empty histogram.
@@ -375,7 +388,51 @@ impl MetricsRegistry {
                 self.observe(k("snapshot_blocks"), blocks.into());
                 self.gauge_set(k("snapshot_cow_clones"), cow_clones as f64);
             }
+            EventPayload::MemReport {
+                family,
+                total_bytes,
+                extent_owned_bytes,
+                extent_shared_bytes,
+                iedge_spilled_bytes,
+                inline_maps,
+                spilled_maps,
+                shared_extents,
+                blocks,
+                minimum_blocks,
+            } => {
+                let g = |name| MetricKey::named(name).family(family);
+                self.gauge_set(g("mem_total_bytes"), total_bytes as f64);
+                self.gauge_set(g("mem_extent_owned_bytes"), extent_owned_bytes as f64);
+                self.gauge_set(g("mem_extent_shared_bytes"), extent_shared_bytes as f64);
+                self.gauge_set(g("mem_iedge_spilled_bytes"), iedge_spilled_bytes as f64);
+                self.gauge_set(g("mem_iedge_inline_maps"), inline_maps.into());
+                self.gauge_set(g("mem_iedge_spilled_maps"), spilled_maps.into());
+                self.gauge_set(g("mem_shared_extents"), shared_extents.into());
+                self.gauge_set(g("mem_blocks"), blocks.into());
+                let extent_total = extent_owned_bytes + extent_shared_bytes;
+                if extent_total > 0 {
+                    self.gauge_set(
+                        g("mem_sharing_ratio"),
+                        extent_shared_bytes as f64 / extent_total as f64,
+                    );
+                }
+                // Quality telemetry: the rebuild-to-minimum oracle's
+                // denominator and the excess over it (0 = minimum).
+                self.gauge_set(g("quality_minimum_blocks"), minimum_blocks.into());
+                self.gauge_set(
+                    g("quality_blocks_over_minimum"),
+                    blocks.saturating_sub(minimum_blocks).into(),
+                );
+            }
         }
+    }
+
+    /// Records `count` identical histogram samples at `v` in one call —
+    /// how `publish_mem_reports` transplants a whole pre-bucketed
+    /// distribution (extent lengths, inline occupancies) into the
+    /// registry without replaying every individual sample.
+    pub fn observe_n(&mut self, key: MetricKey, v: u64, count: u64) {
+        self.histograms.entry(key).or_default().observe_n(v, count);
     }
 
     fn labels_json(key: &MetricKey, families: &[String]) -> String {

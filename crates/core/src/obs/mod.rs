@@ -32,12 +32,15 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod mem;
 pub mod metrics;
+pub mod postmortem;
 pub mod recorder;
 pub mod span;
 
 pub use event::{callsite, BatchSegment, CallsiteId, Event, EventPayload, IndexFamily, OpKind};
 pub use export::{chrome_trace_json, folded_stacks, FoldWeight};
+pub use mem::{HeapUse, MemReport};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use recorder::{FlightRecorder, JsonlWriter, NullRecorder, Recorder};
 pub use span::{SpanCounters, SpanGuard, SpanKind, SpanRecord, SpanTree};
@@ -160,6 +163,13 @@ impl ObsHub {
     /// The metrics registry, if enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// Mutable access to the metrics registry, for publishers that feed
+    /// whole distributions (e.g. the mem-report's extent-length and
+    /// inline-occupancy histograms) rather than single event payloads.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut()
     }
 
     /// Registers an index family name, returning its compact handle.

@@ -301,6 +301,33 @@ pub fn open_depth() -> usize {
     COLLECTOR.with(|c| c.borrow().as_ref().map_or(0, |col| col.stack.len()))
 }
 
+/// The currently-open span stack, outermost first, rendered as stable
+/// `Kind` / `Kind[family-id]` frames. Empty when collection is off.
+///
+/// This is the postmortem hook's view: a panic hook runs *before*
+/// unwinding drops the open [`SpanGuard`]s, so calling this from a
+/// `std::panic` hook captures exactly where in the pipeline the panic
+/// fired (see [`crate::obs::postmortem`]).
+pub fn open_spans() -> Vec<String> {
+    COLLECTOR.with(|c| {
+        let borrow = c.borrow();
+        let Some(col) = borrow.as_ref() else {
+            return Vec::new();
+        };
+        col.stack
+            .iter()
+            .filter_map(|&id| col.spans.get((id - 1) as usize))
+            .map(|s| {
+                if s.family == IndexFamily::NONE {
+                    s.kind.name().to_string()
+                } else {
+                    format!("{}[{}]", s.kind.name(), s.family.0)
+                }
+            })
+            .collect()
+    })
+}
+
 /// RAII handle to one open span. Obtained from [`SpanGuard::enter`];
 /// the span closes (duration stamped, stack popped) when the guard
 /// drops. Inert (all methods no-ops) when collection is off.

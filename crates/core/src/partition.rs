@@ -27,6 +27,7 @@
 //! is caught by the debug-build generation checks instead of silently
 //! aliasing the block that reused the slot.
 
+use crate::obs::mem::{btree_set_heap, vec_cap_heap, HeapUse, MemReport};
 use crate::store::{CowVec, IedgeMap, ScratchTable, SlotKey, SlotMap, StoreReport};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -108,6 +109,15 @@ impl Default for Block {
             parents: IedgeMap::new(),
             children: IedgeMap::new(),
         }
+    }
+}
+
+impl HeapUse for Block {
+    /// The block's heap payload: the extent run plus both iedge maps.
+    /// The `Block` struct itself lives inside the slot arena and is
+    /// charged to the slab shell.
+    fn heap_use(&self) -> usize {
+        self.extent.heap_bytes() + self.parents.heap_use() + self.children.heap_use()
     }
 }
 
@@ -675,6 +685,54 @@ impl Partition {
         for blk in self.blocks.iter_all_slots() {
             r.spill_events += blk.parents.spill_count() as u64 + blk.children.spill_count() as u64;
         }
+        r
+    }
+
+    /// Deep heap bytes owned by the partition (capacity-based); the
+    /// decomposed view is [`Partition::mem_report`].
+    pub fn heap_use(&self) -> usize {
+        self.blocks.heap_use()
+            + vec_cap_heap(&self.node_block)
+            + vec_cap_heap(&self.node_pos)
+            + vec_cap_heap(&self.mark)
+            + btree_set_heap::<BlockId>(self.orphans.len())
+            + self.split_counts.heap_use()
+            + self.split_flag.heap_use()
+            + self.split_partner.heap_use()
+    }
+
+    /// A point-in-time deep-memory attribution of the partition, per the
+    /// accounting contract in DESIGN.md §13. One pass over the block
+    /// table; [`MemReport::total_bytes`] equals this partition's
+    /// [`HeapUse::heap_use`] exactly (the walker-oracle test pins it).
+    pub fn mem_report(&self) -> MemReport {
+        let mut r = MemReport::default();
+        let mut live_payload = 0usize;
+        for (_, blk) in self.blocks.iter() {
+            r.blocks += 1;
+            r.record_extent(
+                blk.extent.len(),
+                blk.extent.heap_bytes(),
+                blk.extent.is_shared(),
+            );
+            for m in [&blk.parents, &blk.children] {
+                match m.inline_occupancy() {
+                    Some(occ) => r.record_inline_map(occ),
+                    None => r.record_spilled_map(m.heap_use()),
+                }
+            }
+            live_payload += blk.heap_use();
+        }
+        let all_payload: usize = self.blocks.iter_all_slots().map(Block::heap_use).sum();
+        r.dead_retained_bytes = (all_payload - live_payload) as u64;
+        r.slab_bytes = self.blocks.shell_bytes() as u64;
+        r.side_table_bytes = (vec_cap_heap(&self.node_block)
+            + vec_cap_heap(&self.node_pos)
+            + vec_cap_heap(&self.mark)
+            + btree_set_heap::<BlockId>(self.orphans.len())) as u64;
+        r.scratch_bytes = (self.split_counts.heap_use()
+            + self.split_flag.heap_use()
+            + self.split_partner.heap_use()) as u64;
         r
     }
 

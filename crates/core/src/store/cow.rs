@@ -76,6 +76,23 @@ impl<T: Clone> CowVec<T> {
     }
 }
 
+impl<T> CowVec<T> {
+    /// Estimated heap bytes of the run: the `Arc<Vec<T>>` header
+    /// allocation plus the element buffer (capacity-based). A shared
+    /// run reports the same bytes from every holder — the attribution
+    /// layer ([`crate::obs::mem::MemReport`]) decides who counts it.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        crate::obs::mem::ARC_VEC_HEADER + self.inner.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> crate::obs::mem::HeapUse for CowVec<T> {
+    fn heap_use(&self) -> usize {
+        self.heap_bytes()
+    }
+}
+
 impl<T> Deref for CowVec<T> {
     type Target = [T];
     #[inline]

@@ -19,8 +19,41 @@ use std::collections::BTreeMap;
 
 /// Entries held inline before spilling. Chosen to cover the bulk of
 /// the degree distribution while keeping the struct within a few cache
-/// lines; see DESIGN.md §10 for the measurement notes.
-pub const INLINE_CAP: usize = 8;
+/// lines; see DESIGN.md §10 for the measurement notes and
+/// EXPERIMENTS.md for the 8/16/32 sweep that confirmed the default.
+///
+/// Overridable at *compile time* via the `XSI_INLINE_CAP` environment
+/// variable (`option_env!`), clamped to `1..=64` — the upper bound
+/// keeps `len: u8` honest and matches the inline-occupancy histogram's
+/// bucket range. Invalid values fall back to the default of 8.
+pub const INLINE_CAP: usize = parse_inline_cap(option_env!("XSI_INLINE_CAP"));
+
+/// Const-parses the `XSI_INLINE_CAP` override; default 8, clamp 1..=64.
+const fn parse_inline_cap(env: Option<&str>) -> usize {
+    let Some(s) = env else { return 8 };
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return 8;
+    }
+    let mut v: usize = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b < b'0' || b > b'9' {
+            return 8;
+        }
+        v = v * 10 + (b - b'0') as usize;
+        if v > 64 {
+            return 64;
+        }
+        i += 1;
+    }
+    if v == 0 {
+        1
+    } else {
+        v
+    }
+}
 
 /// Which representation a map currently uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +129,16 @@ impl<K: SlotKey> IedgeMap<K> {
     /// Lifetime inline→spilled transition count.
     pub fn spill_count(&self) -> u32 {
         self.spills
+    }
+
+    /// `Some(entries)` while the map is inline (0..=[`INLINE_CAP`]),
+    /// `None` once spilled — feeds the mem-report's inline-occupancy
+    /// histogram, which is what the INLINE_CAP sweep reads.
+    pub fn inline_occupancy(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Inline { len, .. } => Some(*len as usize),
+            Repr::Spilled(_) => None,
+        }
     }
 
     /// Worst-case comparisons for one lookup at the current size
@@ -301,6 +344,18 @@ impl<K: SlotKey> IedgeMap<K> {
                 .collect();
             self.repr = Repr::Spilled(m);
             self.spills += 1;
+        }
+    }
+}
+
+impl<K: SlotKey> crate::obs::mem::HeapUse for IedgeMap<K> {
+    /// Inline maps own no heap at all (the arrays live in the struct);
+    /// spilled maps are charged per entry at the documented `BTreeMap`
+    /// estimate.
+    fn heap_use(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Spilled(m) => crate::obs::mem::btree_map_heap::<K, u32>(m.len()),
         }
     }
 }

@@ -88,6 +88,17 @@ impl<V: Copy + Default> ScratchTable<V> {
     }
 }
 
+impl<V: Copy + Default> crate::obs::mem::HeapUse for ScratchTable<V> {
+    /// The three backing vectors, capacity-based. Scratch tables are
+    /// long-lived per-index allocations (that is the point of them), so
+    /// they are part of the persistent footprint.
+    fn heap_use(&self) -> usize {
+        crate::obs::mem::vec_cap_heap(&self.stamp)
+            + crate::obs::mem::vec_cap_heap(&self.vals)
+            + crate::obs::mem::vec_cap_heap(&self.touched)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,30 @@ impl<K: SlotKey, T: Default> SlotMap<K, T> {
     }
 }
 
+impl<K: SlotKey, T> SlotMap<K, T> {
+    /// Heap bytes of the slab shell itself: the slot vector (capacity,
+    /// including the per-slot generation/liveness header) and the free
+    /// list. Excludes whatever the payloads own — see the `HeapUse`
+    /// impl, which adds those.
+    pub fn shell_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<K: SlotKey, T: Default + crate::obs::mem::HeapUse> crate::obs::mem::HeapUse for SlotMap<K, T> {
+    /// Shell plus payload bytes over *all* slots, dead ones included —
+    /// recycled slots deliberately retain their allocations, and this
+    /// is where that retention is made visible.
+    fn heap_use(&self) -> usize {
+        self.shell_bytes()
+            + self
+                .iter_all_slots()
+                .map(crate::obs::mem::HeapUse::heap_use)
+                .sum::<usize>()
+    }
+}
+
 impl<K: SlotKey, T: Default> std::ops::Index<K> for SlotMap<K, T> {
     type Output = T;
     fn index(&self, k: K) -> &T {

@@ -213,6 +213,33 @@ impl IndexSnapshot {
     }
 }
 
+impl crate::obs::mem::HeapUse for FrozenBlock {
+    /// Label string, the (possibly shared) extent run, and the successor
+    /// list. The extent `Arc` is charged here at full size — whether the
+    /// live index still co-holds it is the sharing question the live
+    /// side's `MemReport` answers; the snapshot always retains it.
+    fn heap_use(&self) -> usize {
+        self.label.capacity()
+            + crate::obs::mem::arc_vec_heap(&self.extent) // xsi-lint: allow(store-discipline, read-only size probe of FrozenBlock's own field, not arena storage)
+            + crate::obs::mem::vec_cap_heap(&self.isucc)
+    }
+}
+
+impl crate::obs::mem::HeapUse for IndexSnapshot {
+    /// Deep bytes retained by the snapshot — exported as the
+    /// `snapshot_retained_bytes` gauge at freeze time.
+    fn heap_use(&self) -> usize {
+        self.family.capacity()
+            + crate::obs::mem::vec_cap_heap(&self.blocks)
+            + self
+                .blocks
+                .iter()
+                .flatten()
+                .map(crate::obs::mem::HeapUse::heap_use)
+                .sum::<usize>()
+    }
+}
+
 impl IndexQueryView for IndexSnapshot {
     fn start_block(&self) -> u32 {
         self.start

@@ -9,6 +9,7 @@ pub mod cow_discipline;
 pub mod dense_side_table;
 pub mod hash_iter;
 pub mod hygiene;
+pub mod mem_accounting;
 pub mod obs_coverage;
 pub mod panic_reach;
 pub mod panics;
@@ -259,7 +260,39 @@ skips the hub silently loses the `snapshot_*` metric series.
 
 Pure delegators (e.g. a convenience wrapper that forwards to an \
 instrumented sibling) should carry a waiver naming the instrumented \
-callee: `// xsi-lint: allow(obs-coverage, delegates to apply_batch)`.",
+callee: `// xsi-lint: allow(obs-coverage, delegates to apply_batch)`. \
+Report publishers (`pub fn publish_*`) are checked regardless of \
+receiver, like freezes: publishing IS feeding the hub, so an \
+uninstrumented publisher is a silent no-op the caller cannot tell \
+from working telemetry.",
+    },
+    RuleInfo {
+        name: "mem-accounting",
+        severity: Severity::Deny,
+        baselineable: false,
+        waivable: true,
+        summary: "heap-owning struct fields missing from the type's heap_use() accounting",
+        explain: "\
+The memory observability layer (DESIGN.md §13) promises that \
+`MemReport::total_bytes()` equals the deep `heap_use()` bytes \
+*exactly*, and the walker-oracle test pins that equality — but both \
+sides of the oracle read the same `heap_use()` implementations, so a \
+forgotten field undercounts both sides in lockstep and no dynamic \
+check can notice bytes it was never told about. This rule closes the \
+loop statically: in any file defining a `heap_use` fn (trait impl or \
+inherent) for a locally-declared struct, every named field whose type \
+mentions a heap-owning container (Vec, String, BTree*/Hash* maps and \
+sets, Arc, Box, Rc, VecDeque, CowVec, IedgeMap, ScratchTable, \
+SlotMap) must be named in the `heap_use` body, directly or in a \
+same-type method it calls (one level — the `heap_use` → \
+`shell_bytes` idiom).
+
+Fix: account the field's bytes. Deliberately-excluded memory (derived \
+caches rebuilt on demand, back-references whose bytes another owner \
+counts) gets a waiver on the field line stating the exclusion \
+argument: `// xsi-lint: allow(mem-accounting, transient memo, \
+dropped after each update)`. Not baselineable: the accounting \
+contract starts exact and stays exact.",
     },
     RuleInfo {
         name: "span-coverage",
@@ -396,6 +429,7 @@ pub fn run_all(f: &SourceFile, out: &mut Vec<Finding>) {
     dense_side_table::run(f, out);
     hash_iter::run(f, out);
     panics::run(f, out);
+    mem_accounting::run(f, out);
     obs_coverage::run(f, out);
     span_coverage::run(f, out);
     hygiene::run(f, out);

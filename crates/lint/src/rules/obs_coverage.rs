@@ -2,7 +2,10 @@
 //! two maintainers must feed the observability layer (DESIGN.md §8).
 //! Snapshot freezes are entry points too: any `pub fn freeze*` in a
 //! target file is checked *regardless of receiver* — a `&self` freeze
-//! that skips the hub would silently lose the `snapshot_*` series.
+//! that skips the hub would silently lose the `snapshot_*` series. So
+//! are report publishers (`pub fn publish_*`): their entire contract
+//! is feeding the hub, so one that never touches it is a silent no-op
+//! the caller cannot distinguish from working telemetry.
 //! See the registry entry in [`super::RULES`].
 
 use crate::lexer::{Tok, TokKind};
@@ -57,14 +60,20 @@ pub fn run(f: &SourceFile, out: &mut Vec<Finding>) {
                     // Freeze entry points count whatever their receiver:
                     // a read-only `freeze` still owes a SnapshotFreeze
                     // emission or the snapshot_* series silently vanish.
+                    // Publishers likewise: `publish_*` exists only to
+                    // feed the hub, so an uninstrumented one is a
+                    // silent no-op, the worst kind of telemetry hole.
                     let is_freeze = name.starts_with("freeze");
-                    if takes_mut_self(sig) || is_freeze {
+                    let is_publisher = name.starts_with("publish");
+                    if takes_mut_self(sig) || is_freeze || is_publisher {
                         let covered = toks[i + 3..=body_close].iter().any(|t| {
                             t.kind == TokKind::Ident && OBS_TOKENS.contains(&t.text.as_str())
                         });
                         if !covered {
                             let what = if is_freeze {
                                 format!("snapshot entry point `pub fn {name}(…)`")
+                            } else if is_publisher {
+                                format!("report publisher `pub fn {name}(…)`")
                             } else {
                                 format!("mutation entry point `pub fn {name}(&mut self, …)`")
                             };
@@ -181,6 +190,21 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert!(hits[0].message.contains("snapshot entry point"));
         assert!(hits[0].message.contains("freeze"));
+    }
+
+    #[test]
+    fn uninstrumented_publisher_flagged_even_on_shared_receiver() {
+        let src = "impl E { pub fn publish_reports(&self) -> usize { self.entries.len() } }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("report publisher"));
+        assert!(hits[0].message.contains("publish_reports"));
+    }
+
+    #[test]
+    fn instrumented_publisher_is_clean() {
+        let src = "impl E { pub fn publish_reports(&mut self) { self.obs.emit(ev()); } }";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

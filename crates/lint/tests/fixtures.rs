@@ -109,10 +109,38 @@ fn obs_coverage_fires_on_uninstrumented_entry_point_only() {
     let r = run_fixture(None);
     let hits = live(&r, "obs-coverage");
     // One uninstrumented mutation entry point + one uninstrumented
-    // `&self` freeze (snapshot entry points are receiver-agnostic).
-    assert_eq!(hits.len(), 2, "{hits:?}");
+    // `&self` freeze + one uninstrumented `&self` publisher (snapshot
+    // and report entry points are receiver-agnostic).
+    assert_eq!(hits.len(), 3, "{hits:?}");
     assert!(hits.iter().all(|h| h.0 == "crates/core/src/engine.rs"));
-    assert_eq!(count_suppressed(&r, "obs-coverage", Suppression::Waived), 1);
+    assert!(r.findings.iter().any(|f| f.rule == "obs-coverage"
+        && f.suppressed.is_none()
+        && f.message.contains("publish_uninstrumented")));
+    assert_eq!(count_suppressed(&r, "obs-coverage", Suppression::Waived), 2);
+}
+
+#[test]
+fn mem_accounting_fires_respects_waiver_and_is_not_baselineable() {
+    let r = run_fixture(None);
+    let hits = live(&r, "mem-accounting");
+    // Exactly Leaky.spill; the waived Transient.memo, the directly
+    // accounted struct, and the one-helper-level route are quiet.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/mem.rs");
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == "mem-accounting" && f.suppressed.is_none())
+        .expect("the live finding just counted");
+    assert!(f.message.contains("Leaky.spill"), "{}", f.message);
+    assert_eq!(
+        count_suppressed(&r, "mem-accounting", Suppression::Waived),
+        1
+    );
+    // Not baselineable: freezing today's counts must not hide it.
+    let frozen = Baseline::from_counts(r.ratchet_counts.clone());
+    let second = run_fixture(Some(frozen));
+    assert_eq!(live(&second, "mem-accounting").len(), 1);
 }
 
 #[test]

@@ -1,0 +1,54 @@
+//! Fixture store: mem-accounting expectations. The rule self-scopes to
+//! any file that implements `heap_use` for a locally declared struct,
+//! so no path suffix is needed here.
+
+/// Clean: every heap-owning field is named in `heap_use`.
+pub struct Accounted {
+    pub rows: Vec<u32>,
+    pub tag: u32,
+}
+
+impl Accounted {
+    pub fn heap_use(&self) -> usize {
+        self.rows.capacity() * 4
+    }
+}
+
+/// Positive: `spill` is heap-owning but `heap_use` never names it.
+pub struct Leaky {
+    pub spill: Vec<u32>,
+    pub seen: u32,
+}
+
+impl Leaky {
+    pub fn heap_use(&self) -> usize {
+        self.seen as usize
+    }
+}
+
+/// Waived: the deliberately-uncounted field argues why on its line.
+pub struct Transient {
+    // xsi-lint: allow(mem-accounting, per-update memo, dropped before any report is taken)
+    pub memo: Vec<u32>,
+}
+
+impl Transient {
+    pub fn heap_use(&self) -> usize {
+        0
+    }
+}
+
+/// Clean via one helper level: `heap_use` → `table_bytes` → field.
+pub struct ViaHelper {
+    pub table: Vec<u32>,
+}
+
+impl ViaHelper {
+    pub fn heap_use(&self) -> usize {
+        self.table_bytes()
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.table.capacity() * 4
+    }
+}
